@@ -1,0 +1,221 @@
+// Benchmark harness regenerating every data figure of the paper's
+// evaluation (Section IV). Each BenchmarkFigN measures the cost of
+// recomputing that figure's data and reports the headline numbers as
+// custom metrics, so `go test -bench=. -benchmem` both exercises and
+// documents the reproduction:
+//
+//	BenchmarkFig1  — Figure 1: FMM example + penalty convolution
+//	BenchmarkFig3  — Figure 3: adpcm exceedance curves (3 mechanisms)
+//	BenchmarkFig4  — Figure 4: 25-benchmark normalized pWCET sweep,
+//	                 reporting the average/minimum gains of Section IV.B
+//
+// The remaining benchmarks profile the pipeline stages (cache analysis,
+// IPET, FMM, convolution, simulation) on representative inputs.
+package pwcet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	pwcet "repro"
+	"repro/internal/absint"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/ipet"
+	"repro/internal/malardalen"
+	"repro/internal/program"
+)
+
+// BenchmarkFig1 regenerates Figure 1: the per-set penalty distributions
+// of the paper's illustrative 4-set FMM and their convolution.
+func BenchmarkFig1(b *testing.B) {
+	fmm := [][]int64{{0, 10, 130}, {0, 14, 164}, {0, 13, 193}, {0, 20, 240}}
+	pbf := fault.PBF(1e-4, 128)
+	pwf := fault.PWF(2, pbf)
+	var support int
+	for i := 0; i < b.N; i++ {
+		total := dist.Degenerate(0)
+		for _, row := range fmm {
+			pts := make([]dist.Point, len(row))
+			for f, v := range row {
+				pts[f] = dist.Point{Value: v, Prob: pwf[f]}
+			}
+			d, err := dist.New(pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = total.Convolve(d)
+		}
+		support = total.Len()
+	}
+	b.ReportMetric(float64(support), "support-points")
+}
+
+// BenchmarkFig3 regenerates Figure 3: the exceedance curves of adpcm
+// under no protection, SRB and RW at pfail = 1e-4.
+func BenchmarkFig3(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	var none, rw, srb *core.Result
+	for i := 0; i < b.N; i++ {
+		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: 1e-4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		none, rw, srb = results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
+		// The curves themselves are part of the figure.
+		_ = none.ExceedanceCurve()
+		_ = rw.ExceedanceCurve()
+		_ = srb.ExceedanceCurve()
+	}
+	b.ReportMetric(float64(none.PWCET), "pwcet-none")
+	b.ReportMetric(float64(srb.PWCET), "pwcet-srb")
+	b.ReportMetric(float64(rw.PWCET), "pwcet-rw")
+	b.ReportMetric(float64(none.FaultFreeWCET), "wcet-fault-free")
+}
+
+// BenchmarkFig4 regenerates Figure 4 and the Section IV.B gain summary:
+// pWCET at 1e-15 for all 25 benchmarks under the three architectures.
+// Paper reference points: average gain RW 48%, SRB 40%; minimum gain RW
+// 26% (fft), SRB 25% (ud).
+func BenchmarkFig4(b *testing.B) {
+	names := pwcet.Benchmarks()
+	var avgRW, avgSRB, minRW, minSRB float64
+	for i := 0; i < b.N; i++ {
+		var sumRW, sumSRB float64
+		minRW, minSRB = 1, 1
+		for _, name := range names {
+			p := malardalen.MustGet(name)
+			results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: 1e-4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gRW := pwcet.Gain(results[pwcet.None], results[pwcet.RW])
+			gSRB := pwcet.Gain(results[pwcet.None], results[pwcet.SRB])
+			sumRW += gRW
+			sumSRB += gSRB
+			if gRW < minRW {
+				minRW = gRW
+			}
+			if gSRB < minSRB {
+				minSRB = gSRB
+			}
+		}
+		avgRW = sumRW / float64(len(names))
+		avgSRB = sumSRB / float64(len(names))
+	}
+	b.ReportMetric(100*avgRW, "avg-gain-rw-%")
+	b.ReportMetric(100*avgSRB, "avg-gain-srb-%")
+	b.ReportMetric(100*minRW, "min-gain-rw-%")
+	b.ReportMetric(100*minSRB, "min-gain-srb-%")
+}
+
+// BenchmarkCacheAnalysis profiles the Must/May/Persistence fixpoints on
+// the largest benchmark (nsichneu).
+func BenchmarkCacheAnalysis(b *testing.B) {
+	p := malardalen.MustGet("nsichneu")
+	cfg := cache.PaperConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := absint.New(p, cfg)
+		_ = a.ClassifyAll()
+	}
+}
+
+// BenchmarkIPETWCET profiles the fault-free WCET ILP on adpcm.
+func BenchmarkIPETWCET(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	a := absint.New(p, cfg)
+	classes := a.ClassifyAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := ipet.NewSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ipet.WCET(sys, a, classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFMM profiles the full fault-miss-map computation (S*W warm
+// ILP solves plus per-set reclassification) on adpcm.
+func BenchmarkFMM(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	a := absint.New(p, cfg)
+	classes := a.ClassifyAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := ipet.NewSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{Mechanism: cache.MechanismNone}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolution profiles the 16-set penalty convolution with
+// coarsening, the final stage of the pipeline.
+func BenchmarkConvolution(b *testing.B) {
+	cfg := cache.PaperConfig()
+	pbf := fault.PBF(1e-4, cfg.BlockBits())
+	pwf := fault.PWF(cfg.Ways, pbf)
+	rng := rand.New(rand.NewSource(1))
+	perSet := make([]*dist.Dist, cfg.Sets)
+	for s := range perSet {
+		pts := make([]dist.Point, len(pwf))
+		v := int64(0)
+		for f := range pts {
+			pts[f] = dist.Point{Value: v * 100, Prob: pwf[f]}
+			v += int64(1 + rng.Intn(200))
+		}
+		d, err := dist.New(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perSet[s] = d
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := dist.Degenerate(0)
+		for _, d := range perSet {
+			total = total.Convolve(d).CoarsenTo(core.DefaultMaxSupport)
+		}
+		_ = total.QuantileExceedance(1e-15)
+	}
+}
+
+// BenchmarkSimulation profiles the concrete cache simulator on a full
+// adpcm trace (the validation substrate).
+func BenchmarkSimulation(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	tr, err := p.Trace(program.FirstChooser, 50_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fm := cache.NewFaultMap(cfg.Sets, cfg.Ways)
+	fm[3][0], fm[3][1], fm[3][2], fm[3][3] = true, true, true, true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cache.NewSim(cfg, cache.MechanismSRB, fm)
+		s.AccessAll(tr)
+	}
+	b.SetBytes(int64(len(tr) * 4))
+}
+
+// BenchmarkAnalyzeSingle profiles one end-to-end analysis (matmult, RW).
+func BenchmarkAnalyzeSingle(b *testing.B) {
+	p := malardalen.MustGet("matmult")
+	for i := 0; i < b.N; i++ {
+		if _, err := pwcet.Analyze(p, pwcet.Options{Pfail: 1e-4, Mechanism: pwcet.RW}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

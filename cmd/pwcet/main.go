@@ -1,0 +1,184 @@
+// Command pwcet analyzes one benchmark of the Mälardalen-like suite and
+// reports its probabilistic WCET under a chosen reliability mechanism.
+//
+//	pwcet -list
+//	pwcet -all
+//	pwcet -bench adpcm
+//	pwcet -bench matmult -mech all -pfail 1e-3
+//	pwcet -bench crc -mech srb -curve
+//	pwcet -bench bs -mech rw -fmm
+//	pwcet -bench adpcm -classes
+//	pwcet -bench fibcall -mech none -validate 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	pwcet "repro"
+	"repro/internal/core"
+	"repro/internal/malardalen"
+	"repro/internal/sim"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	all := flag.Bool("all", false, "analyze the whole suite and print a summary table")
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	mech := flag.String("mech", "all", "reliability mechanism: none, rw, srb or all")
+	pfail := flag.Float64("pfail", 1e-4, "per-bit permanent failure probability")
+	target := flag.Float64("target", 1e-15, "target exceedance probability")
+	curve := flag.Bool("curve", false, "print the exceedance curve as CSV")
+	fmm := flag.Bool("fmm", false, "print the fault miss map")
+	classes := flag.Bool("classes", false, "print the per-reference CHMC summary")
+	precise := flag.Bool("precise", false, "enable the precise SRB analysis (mixture bound; srb only)")
+	validate := flag.Int("validate", 0, "run Monte-Carlo validation with N fault maps")
+	flag.Parse()
+
+	if *list {
+		for _, n := range pwcet.Benchmarks() {
+			p := malardalen.MustGet(n)
+			fmt.Printf("%-14s %6d bytes  %4d blocks  %3d loops\n",
+				n, p.CodeBytes(), len(p.Blocks), len(p.Loops))
+		}
+		return
+	}
+	if *all {
+		analyzeAll(*pfail, *target)
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "pwcet: -bench or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := pwcet.Benchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mechs []pwcet.Mechanism
+	if *mech == "all" {
+		mechs = []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB}
+	} else {
+		m, err := pwcet.ParseMechanism(*mech)
+		if err != nil {
+			fatal(err)
+		}
+		mechs = []pwcet.Mechanism{m}
+	}
+
+	opt := pwcet.Options{Pfail: *pfail, TargetExceedance: *target}
+	results := make(map[pwcet.Mechanism]*core.Result, len(mechs))
+	for _, m := range mechs {
+		o := opt
+		o.Mechanism = m
+		o.PreciseSRB = *precise && m == pwcet.SRB
+		r, err := pwcet.Analyze(p, o)
+		if err != nil {
+			fatal(err)
+		}
+		results[m] = r
+	}
+
+	first := results[mechs[0]]
+	fmt.Printf("benchmark %s: %d bytes of code, %d basic blocks, %d loops\n",
+		*bench, p.CodeBytes(), len(p.Blocks), len(p.Loops))
+	fmt.Printf("cache: %dB, %d sets x %d ways x %dB lines; pfail=%g (pbf=%.4g); target=%g\n",
+		first.Options.Cache.SizeBytes(), first.Options.Cache.Sets, first.Options.Cache.Ways,
+		first.Options.Cache.BlockBytes, *pfail, first.Model.PBF, *target)
+	fmt.Printf("references: %d always-hit, %d first-miss, %d always-miss/not-classified\n",
+		first.HitRefs, first.FMRefs, first.MissRefs)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mechanism\tfault-free WCET\tpWCET\tratio\tmax penalty")
+	for _, m := range mechs {
+		r := results[m]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\n",
+			m, r.FaultFreeWCET, r.PWCET,
+			float64(r.PWCET)/float64(r.FaultFreeWCET), r.Penalty.Max())
+	}
+	tw.Flush()
+
+	if *classes {
+		printClasses(p, first.Options.Cache)
+	}
+
+	for _, m := range mechs {
+		r := results[m]
+		if *fmm {
+			fmt.Printf("\nfault miss map (%s), rows = sets, columns = faulty blocks 0..W:\n", m)
+			for s, row := range r.FMM {
+				fmt.Printf("  set %2d:", s)
+				for _, v := range row {
+					fmt.Printf(" %7d", v)
+				}
+				fmt.Println()
+			}
+		}
+		if *curve {
+			fmt.Printf("\nexceedance curve (%s): wcet_cycles,probability\n", m)
+			for _, pt := range r.ExceedanceCurve() {
+				fmt.Printf("%d,%.6g\n", pt.Value, pt.Prob)
+			}
+		}
+		if *validate > 0 {
+			rep, err := sim.Validate(p, r, *validate, 2, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nvalidation (%s): %d fault maps x %d paths: max simulated %d, max bound %d, "+
+				"bound violations %d, CCDF violations %d\n",
+				m, rep.Samples, rep.PathsPerSample, rep.MaxTime, rep.MaxBound,
+				rep.BoundViolations, rep.CCDFViolations)
+		}
+	}
+}
+
+// analyzeAll prints the whole-suite summary (one line per benchmark).
+func analyzeAll(pfail, target float64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\tcode B\tfault-free\tnone\tsrb\trw\tgain srb\tgain rw\t")
+	for _, name := range pwcet.Benchmarks() {
+		p := malardalen.MustGet(name)
+		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target})
+		if err != nil {
+			fatal(err)
+		}
+		none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f%%\t%.0f%%\t\n",
+			name, p.CodeBytes(), none.FaultFreeWCET, none.PWCET, srb.PWCET, rw.PWCET,
+			100*pwcet.Gain(none, srb), 100*pwcet.Gain(none, rw))
+	}
+	tw.Flush()
+}
+
+// printClasses summarizes the CHMC classification per cache set.
+func printClasses(p *pwcet.Program, cfg pwcet.CacheConfig) {
+	cls := core.Classify(p, cfg)
+	perSet := make(map[int]map[string]int)
+	for i, r := range cls.Refs {
+		m := perSet[r.Set]
+		if m == nil {
+			m = make(map[string]int)
+			perSet[r.Set] = m
+		}
+		m[cls.Classes[i].String()]++
+		if cls.SRBHit[i] {
+			m["SRB-AH"]++
+		}
+	}
+	fmt.Println("\nper-set reference classification (AH / FM / AM / NC, SRB guaranteed hits):")
+	for s := 0; s < cfg.Sets; s++ {
+		m := perSet[s]
+		fmt.Printf("  set %2d: AH %3d  FM %3d  AM %3d  NC %3d  SRB-AH %3d\n",
+			s, m["AH"], m["FM"], m["AM"], m["NC"], m["SRB-AH"])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwcet:", err)
+	os.Exit(1)
+}

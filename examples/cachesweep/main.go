@@ -1,0 +1,69 @@
+// Cachesweep: choose a cache geometry under permanent faults.
+//
+// The paper fixes its evaluation cache to 1KB 4-way with 16-byte lines
+// because "this configuration is the one leading to the smallest pWCET
+// in [1]" (Section IV.A). This example reproduces that selection
+// process: for one benchmark it sweeps associativity and line size at
+// constant capacity and reports fault-free WCET and pWCET per
+// mechanism — showing how the best fault-aware configuration can differ
+// from the best fault-free one (higher associativity adds eviction
+// headroom; longer lines raise the block failure probability pbf since
+// K grows in equation 1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	pwcet "repro"
+)
+
+func main() {
+	bench := "fir"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	p, err := pwcet.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type geom struct {
+		ways, blockBytes int
+	}
+	geoms := []geom{
+		{1, 16}, {2, 16}, {4, 16}, {8, 16}, // associativity sweep
+		{4, 8}, {4, 32}, // line-size sweep at 4 ways
+	}
+
+	const capacity = 1024
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Printf("%s at 1KB capacity, pfail=1e-4, target 1e-15 (cycles):\n\n", bench)
+	fmt.Fprintln(tw, "ways\tline\tsets\tpbf\tfault-free\tpWCET none\tpWCET srb\tpWCET rw\t")
+	for _, g := range geoms {
+		cfg := pwcet.CacheConfig{
+			Sets:       capacity / (g.ways * g.blockBytes),
+			Ways:       g.ways,
+			BlockBytes: g.blockBytes,
+			HitLatency: 1,
+			MemLatency: 100,
+		}
+		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Cache: cfg, Pfail: 1e-4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
+		fmt.Fprintf(tw, "%d\t%dB\t%d\t%.4f\t%d\t%d\t%d\t%d\t\n",
+			g.ways, g.blockBytes, cfg.Sets, none.Model.PBF,
+			none.FaultFreeWCET, none.PWCET, srb.PWCET, rw.PWCET)
+	}
+	tw.Flush()
+
+	fmt.Println("\nnotes: direct-mapped caches (1 way) have no RW story (the single way")
+	fmt.Println("IS the reliable way, so rw = fault-free) but pay conflict misses even")
+	fmt.Println("fault-free; longer lines amplify pbf (equation 1: K doubles) while")
+	fmt.Println("capturing more spatial locality. The paper's 4-way/16B choice is the")
+	fmt.Println("balance point found in [1].")
+}

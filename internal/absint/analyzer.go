@@ -1,0 +1,206 @@
+package absint
+
+import (
+	"repro/internal/cache"
+	"repro/internal/chmc"
+	"repro/internal/program"
+)
+
+// Analyzer runs the cache analyses of one program against one cache
+// configuration. It precomputes the reference lists and a reverse
+// post-order of the CFG; individual sets can then be (re-)classified at
+// arbitrary effective associativities, which the Fault Miss Map uses to
+// model sets with f faulty ways.
+type Analyzer struct {
+	p     *program.Program
+	cfg   cache.Config
+	perBB [][]Ref
+	all   []Ref
+	rpo   []int
+}
+
+// New builds an analyzer of the program's instruction fetches against
+// the (instruction) cache configuration.
+func New(p *program.Program, cfg cache.Config) *Analyzer {
+	perBB, all := ComputeRefs(p, cfg)
+	return &Analyzer{p: p, cfg: cfg, perBB: perBB, all: all, rpo: reversePostOrder(p)}
+}
+
+// NewData builds an analyzer of the program's data accesses against a
+// data-cache configuration. The abstract domains, fixpoints and
+// classifications are identical — only the reference stream differs —
+// which is precisely why the paper expects its technique to "transpose
+// to data caches" (Section VI). Stores are analyzed as write-allocate
+// accesses.
+func NewData(p *program.Program, cfg cache.Config) *Analyzer {
+	perBB, all := ComputeDataRefs(p, cfg)
+	return &Analyzer{p: p, cfg: cfg, perBB: perBB, all: all, rpo: reversePostOrder(p)}
+}
+
+// Refs returns all references in global order.
+func (a *Analyzer) Refs() []Ref { return a.all }
+
+// RefsOf returns the references of one basic block in fetch order.
+func (a *Analyzer) RefsOf(bb int) []Ref { return a.perBB[bb] }
+
+// Config returns the cache configuration being analyzed.
+func (a *Analyzer) Config() cache.Config { return a.cfg }
+
+// Program returns the program being analyzed.
+func (a *Analyzer) Program() *program.Program { return a.p }
+
+// ClassifyAll classifies every reference at full associativity (the
+// fault-free cache). The result is indexed by Ref.Global.
+func (a *Analyzer) ClassifyAll() []chmc.Class {
+	out := make([]chmc.Class, len(a.all))
+	for i := range out {
+		out[i] = chmc.NotClassified
+	}
+	for s := 0; s < a.cfg.Sets; s++ {
+		a.classifySetInto(out, s, a.cfg.Ways)
+	}
+	return out
+}
+
+// ClassifySet classifies the references mapping to one cache set at the
+// given effective associativity (W - f for f faulty ways). Entries for
+// references of other sets are NotClassified and must be ignored by the
+// caller. assoc == 0 yields AlwaysMiss for every reference of the set.
+func (a *Analyzer) ClassifySet(set, assoc int) []chmc.Class {
+	out := make([]chmc.Class, len(a.all))
+	for i := range out {
+		out[i] = chmc.NotClassified
+	}
+	a.classifySetInto(out, set, assoc)
+	return out
+}
+
+func (a *Analyzer) classifySetInto(out []chmc.Class, set, assoc int) {
+	if assoc <= 0 {
+		for _, r := range a.all {
+			if r.Set == set {
+				out[r.Global] = chmc.AlwaysMiss
+			}
+		}
+		return
+	}
+
+	outStates := a.fixpoint(set, assoc)
+
+	for _, bb := range a.rpo {
+		in := a.inState(outStates, bb, assoc)
+		if !in.reached {
+			// Unreachable code never executes; AlwaysMiss is the
+			// conservative (and irrelevant) classification.
+			for _, r := range a.perBB[bb] {
+				if r.Set == set {
+					out[r.Global] = chmc.AlwaysMiss
+				}
+			}
+			continue
+		}
+		for _, r := range a.perBB[bb] {
+			if r.Set != set {
+				continue
+			}
+			out[r.Global] = classify(in, r.Block, assoc)
+			in.access(r.Block, assoc)
+		}
+	}
+}
+
+// classify derives the CHMC of an access to block m from the pre-state.
+func classify(st *setState, m uint32, assoc int) chmc.Class {
+	if _, ok := st.must[m]; ok {
+		return chmc.AlwaysHit
+	}
+	y, everLoaded := st.pers[m]
+	if !everLoaded {
+		// No path has loaded m before this point, so the reference
+		// executes at most once per run: at most one miss.
+		return chmc.FirstMiss
+	}
+	if !y.sat {
+		return chmc.FirstMiss
+	}
+	if _, ok := st.may[m]; !ok {
+		return chmc.AlwaysMiss
+	}
+	return chmc.NotClassified
+}
+
+// fixpoint iterates the three analyses for one set to a fixpoint and
+// returns the OUT state of every block.
+func (a *Analyzer) fixpoint(set, assoc int) []*setState {
+	outStates := make([]*setState, len(a.p.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, bb := range a.rpo {
+			st := a.inState(outStates, bb, assoc)
+			if st.reached {
+				for _, r := range a.perBB[bb] {
+					if r.Set == set {
+						st.access(r.Block, assoc)
+					}
+				}
+			}
+			if outStates[bb] == nil || !outStates[bb].equal(st) {
+				outStates[bb] = st
+				changed = true
+			}
+		}
+	}
+	return outStates
+}
+
+// inState joins the predecessors' OUT states (the entry block starts from
+// the reached empty cache).
+func (a *Analyzer) inState(outStates []*setState, bb, assoc int) *setState {
+	in := newSetState()
+	if bb == a.p.Entry {
+		in.reached = true
+	}
+	for _, pr := range a.p.Blocks[bb].Preds {
+		if outStates[pr] != nil {
+			in.join(outStates[pr], assoc)
+		}
+	}
+	return in
+}
+
+// reversePostOrder returns the CFG blocks in reverse post-order from the
+// entry, which makes the fixpoint sweeps converge in few passes.
+func reversePostOrder(p *program.Program) []int {
+	visited := make([]bool, len(p.Blocks))
+	var post []int
+	// Iterative DFS with an explicit stack to avoid recursion limits.
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	push := func(n int) {
+		visited[n] = true
+		stack = append(stack, frame{node: n})
+	}
+	push(p.Entry)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := p.Blocks[f.node].Succs
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				push(s)
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i, n := range post {
+		rpo[len(post)-1-i] = n
+	}
+	return rpo
+}

@@ -1,0 +1,194 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomState builds a random abstract set state over a small block
+// universe at the given associativity.
+func randomState(rng *rand.Rand, assoc int) *setState {
+	st := newSetState()
+	st.reached = true
+	for b := uint32(0); b < 6; b++ {
+		if rng.Intn(3) == 0 {
+			st.must[b] = rng.Intn(assoc)
+		}
+		if rng.Intn(2) == 0 {
+			st.may[b] = rng.Intn(assoc)
+		}
+		if rng.Intn(2) == 0 {
+			y := &youngerSet{blocks: make(map[uint32]struct{})}
+			for o := uint32(0); o < 6; o++ {
+				if o != b && rng.Intn(3) == 0 {
+					y.add(o, assoc)
+				}
+			}
+			st.pers[b] = y
+		}
+	}
+	// Keep the invariant must ⊆ may (a guaranteed-present block may be
+	// present): ages must satisfy may-age <= must-age.
+	for b, a := range st.must {
+		if ma, ok := st.may[b]; !ok || ma > a {
+			st.may[b] = 0
+		}
+	}
+	return st
+}
+
+// TestJoinIdempotent checks join(s, s) == s.
+func TestJoinIdempotent(t *testing.T) {
+	const assoc = 3
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomState(rng, assoc)
+		j := s.clone()
+		j.join(s, assoc)
+		return j.equal(s)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinCommutative checks join(a, b) == join(b, a).
+func TestJoinCommutative(t *testing.T) {
+	const assoc = 3
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomState(rng, assoc)
+		b := randomState(rng, assoc)
+		ab := a.clone()
+		ab.join(b, assoc)
+		ba := b.clone()
+		ba.join(a, assoc)
+		return ab.equal(ba)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinAssociative checks join(join(a,b),c) == join(a,join(b,c)).
+func TestJoinAssociative(t *testing.T) {
+	const assoc = 3
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomState(rng, assoc)
+		b := randomState(rng, assoc)
+		c := randomState(rng, assoc)
+		l := a.clone()
+		l.join(b, assoc)
+		l.join(c, assoc)
+		r := b.clone()
+		r.join(c, assoc)
+		r2 := a.clone()
+		r2.join(r, assoc)
+		return l.equal(r2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinWeakening checks the lattice direction of each component:
+// joining can only shrink the Must set (or raise its ages), only grow
+// the May set (or lower its ages), and only grow the persistence
+// younger-sets.
+func TestJoinWeakening(t *testing.T) {
+	const assoc = 3
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomState(rng, assoc)
+		b := randomState(rng, assoc)
+		j := a.clone()
+		j.join(b, assoc)
+		// Must: j.must ⊆ a.must with ages >= a's.
+		for blk, age := range j.must {
+			aAge, ok := a.must[blk]
+			if !ok || age < aAge {
+				return false
+			}
+		}
+		// May: a.may ⊆ j.may with ages <= a's.
+		for blk, aAge := range a.may {
+			jAge, ok := j.may[blk]
+			if !ok || jAge > aAge {
+				return false
+			}
+		}
+		// Persistence: every younger-set of a is contained in j's.
+		for blk, ay := range a.pers {
+			jy, ok := j.pers[blk]
+			if !ok {
+				return false
+			}
+			if jy.sat {
+				continue
+			}
+			if ay.sat {
+				return false // join lost saturation
+			}
+			for o := range ay.blocks {
+				if _, ok := jy.blocks[o]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccessAfterAccessIsHit checks the Must transfer: immediately
+// re-accessing a block finds it at age 0.
+func TestAccessAfterAccessIsHit(t *testing.T) {
+	const assoc = 2
+	st := newSetState()
+	st.reached = true
+	st.access(1, assoc)
+	st.access(2, assoc)
+	if age, ok := st.must[2]; !ok || age != 0 {
+		t.Error("just-accessed block not at Must age 0")
+	}
+	if age, ok := st.must[1]; !ok || age != 1 {
+		t.Error("previous block not aged to 1")
+	}
+	st.access(3, assoc) // evicts block 1 from the 2-way Must view
+	if _, ok := st.must[1]; ok {
+		t.Error("block 1 must have been evicted from the Must ACS")
+	}
+	// Persistence: block 1's younger set saturated (2 distinct others).
+	if y := st.pers[1]; y == nil || !y.sat {
+		t.Error("block 1's younger set must be saturated")
+	}
+}
+
+// TestYoungerSetSaturation pins the saturation threshold: the set
+// saturates exactly when it reaches the associativity.
+func TestYoungerSetSaturation(t *testing.T) {
+	y := &youngerSet{blocks: make(map[uint32]struct{})}
+	y.add(1, 3)
+	y.add(2, 3)
+	if y.sat {
+		t.Error("saturated below the associativity")
+	}
+	y.add(2, 3) // duplicate: no growth
+	if y.sat || len(y.blocks) != 2 {
+		t.Error("duplicate insertion changed the set")
+	}
+	y.add(3, 3)
+	if !y.sat {
+		t.Error("not saturated at the associativity")
+	}
+	// Saturated sets absorb unions.
+	o := &youngerSet{blocks: map[uint32]struct{}{9: {}}}
+	o.union(y, 3)
+	if !o.sat {
+		t.Error("union with a saturated set must saturate")
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is an independently-written reference model of a faulty LRU
+// cache using timestamps instead of ordered stacks, for differential
+// testing of Sim.
+type refLRU struct {
+	cfg    Config
+	usable []int
+	last   []map[uint32]int64 // per set: block -> last-use time
+	clock  int64
+}
+
+func newRefLRU(cfg Config, mech Mechanism, fm FaultMap) *refLRU {
+	r := &refLRU{cfg: cfg, usable: make([]int, cfg.Sets), last: make([]map[uint32]int64, cfg.Sets)}
+	for s := 0; s < cfg.Sets; s++ {
+		r.usable[s] = fm.UsableWays(s, mech)
+		r.last[s] = make(map[uint32]int64)
+	}
+	return r
+}
+
+func (r *refLRU) access(addr uint32) bool {
+	r.clock++
+	block := r.cfg.BlockAddr(addr)
+	set := r.cfg.SetOfBlock(block)
+	u := r.usable[set]
+	if u == 0 {
+		return false
+	}
+	m := r.last[set]
+	if _, ok := m[block]; ok {
+		m[block] = r.clock
+		return true
+	}
+	if len(m) >= u {
+		// Evict the least recently used block.
+		var lruBlock uint32
+		lruTime := int64(1<<62 - 1)
+		for b, t := range m {
+			if t < lruTime {
+				lruTime, lruBlock = t, b
+			}
+		}
+		delete(m, lruBlock)
+	}
+	m[block] = r.clock
+	return false
+}
+
+// TestSimMatchesReferenceModel differentially tests the stack-based
+// simulator against the timestamp-based reference on random traces and
+// fault maps.
+func TestSimMatchesReferenceModel(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 3, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fm := NewFaultMap(cfg.Sets, cfg.Ways)
+		for s := range fm {
+			for w := range fm[s] {
+				fm[s][w] = rng.Intn(4) == 0
+			}
+		}
+		sim := NewSim(cfg, MechanismNone, fm)
+		ref := newRefLRU(cfg, MechanismNone, fm)
+		for i := 0; i < 1000; i++ {
+			addr := uint32(rng.Intn(96)) * 4
+			if sim.Access(addr) != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimRWMatchesReferenceModel repeats the differential test with the
+// reliable way masking way-0 faults.
+func TestSimRWMatchesReferenceModel(t *testing.T) {
+	cfg := Config{Sets: 2, Ways: 4, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fm := NewFaultMap(cfg.Sets, cfg.Ways)
+		for s := range fm {
+			for w := range fm[s] {
+				fm[s][w] = rng.Intn(3) == 0
+			}
+		}
+		sim := NewSim(cfg, MechanismRW, fm)
+		ref := newRefLRU(cfg, MechanismRW, fm)
+		for i := 0; i < 800; i++ {
+			addr := uint32(rng.Intn(64)) * 4
+			if sim.Access(addr) != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

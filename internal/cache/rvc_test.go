@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRVCFaultFreeMatchesPlainCache(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 2, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	fm := NewFaultMap(cfg.Sets, cfg.Ways)
+	rng := rand.New(rand.NewSource(1))
+	trace := make([]uint32, 2000)
+	for i := range trace {
+		trace[i] = uint32(rng.Intn(64)) * 4
+	}
+	plain := NewSim(cfg, MechanismNone, fm)
+	rvc := NewRVCSim(cfg, 4, fm)
+	if plain.AccessAll(trace) != rvc.AccessAll(trace) {
+		t.Error("fault-free RVC must behave exactly like the plain cache (victim store unused)")
+	}
+	if rvc.VictimHits != 0 {
+		t.Error("victim hits recorded on a fault-free cache")
+	}
+}
+
+func TestRVCServesFullyFaultySet(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 2, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	fm := NewFaultMap(cfg.Sets, cfg.Ways)
+	fm[0][0], fm[0][1] = true, true
+	rvc := NewRVCSim(cfg, 2, fm)
+	a := uint32(0) // set 0
+	if rvc.Access(a) {
+		t.Fatal("cold access hit")
+	}
+	if !rvc.Access(a) {
+		t.Fatal("repeated access must hit in the victim store")
+	}
+	if rvc.VictimHits != 1 {
+		t.Errorf("victim hits = %d, want 1", rvc.VictimHits)
+	}
+	// Two blocks of the dead set fit in a 2-entry victim store.
+	b := uint32(4 * 8) // block 4 -> set 0
+	rvc.Access(b)
+	if !rvc.Access(a) || !rvc.Access(b) {
+		t.Error("2-entry victim store must retain both blocks of the dead set")
+	}
+}
+
+func TestRVCNeverWorseThanNoProtection(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 2, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fm := NewFaultMap(cfg.Sets, cfg.Ways)
+		for s := range fm {
+			for w := range fm[s] {
+				fm[s][w] = rng.Intn(3) == 0
+			}
+		}
+		trace := make([]uint32, 1500)
+		for i := range trace {
+			trace[i] = uint32(rng.Intn(48)) * 4
+		}
+		plain := NewSim(cfg, MechanismNone, fm)
+		rvc := NewRVCSim(cfg, 4, fm)
+		if rvc.AccessAll(trace) > plain.AccessAll(trace) {
+			t.Fatalf("seed %d: RVC produced more misses than no protection", seed)
+		}
+	}
+}
+
+func TestRVCZeroEntriesEqualsNoProtection(t *testing.T) {
+	cfg := Config{Sets: 2, Ways: 2, BlockBytes: 8, HitLatency: 1, MemLatency: 10}
+	fm := NewFaultMap(cfg.Sets, cfg.Ways)
+	fm[1][0] = true
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]uint32, 800)
+	for i := range trace {
+		trace[i] = uint32(rng.Intn(32)) * 4
+	}
+	plain := NewSim(cfg, MechanismNone, fm)
+	rvc := NewRVCSim(cfg, 0, fm)
+	if plain.AccessAll(trace) != rvc.AccessAll(trace) {
+		t.Error("0-entry RVC must equal no protection")
+	}
+}

@@ -1,0 +1,290 @@
+// Package cfg provides control-flow-graph algorithms — dominators,
+// natural-loop detection, reducibility checking — computed from first
+// principles on assembled programs.
+//
+// The program builder (internal/program) records loop structure while
+// lowering, so the analyses do not strictly need this package; it exists
+// to *verify* that structural metadata against an independent
+// computation (the builder's loops must be exactly the CFG's natural
+// loops), and to support authoring programs from raw edge lists in the
+// future. The WCET analyses refuse CFGs whose loops the two methods
+// disagree on.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+)
+
+// Dominators computes the immediate dominator of every block reachable
+// from the entry, using the Cooper-Harvey-Kennedy iterative algorithm.
+// idom[entry] == entry; unreachable blocks get -1.
+func Dominators(p *program.Program) []int {
+	rpo := ReversePostOrder(p)
+	index := make([]int, len(p.Blocks)) // block -> position in rpo
+	for i := range index {
+		index[i] = -1
+	}
+	for i, b := range rpo {
+		index[b] = i
+	}
+
+	idom := make([]int, len(p.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[p.Entry] = p.Entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == p.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, pr := range p.Blocks[b].Preds {
+				if idom[pr] == -1 {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(newIdom, pr)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom tree.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == idom[b] { // reached the entry
+			return false
+		}
+		next := idom[b]
+		if next == -1 {
+			return false
+		}
+		b = next
+	}
+}
+
+// NaturalLoop is a loop detected from a back edge: an edge whose target
+// dominates its source.
+type NaturalLoop struct {
+	Header int
+	// Back edges into the header (there may be several for one header).
+	Back []program.Edge
+	// Blocks is the loop body (header included), sorted.
+	Blocks []int
+}
+
+// NaturalLoops finds all natural loops of the program. Back edges with
+// the same header are merged into one loop, as is conventional.
+func NaturalLoops(p *program.Program) []NaturalLoop {
+	idom := Dominators(p)
+	byHeader := make(map[int]*NaturalLoop)
+	var headers []int
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if idom[b.ID] == -1 {
+				continue // unreachable
+			}
+			if Dominates(idom, s, b.ID) {
+				l, ok := byHeader[s]
+				if !ok {
+					l = &NaturalLoop{Header: s}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.Back = append(l.Back, program.Edge{From: b.ID, To: s})
+			}
+		}
+	}
+	sort.Ints(headers)
+	out := make([]NaturalLoop, 0, len(headers))
+	for _, h := range headers {
+		l := byHeader[h]
+		l.Blocks = loopBody(p, *l)
+		out = append(out, *l)
+	}
+	return out
+}
+
+// loopBody computes the natural-loop member set of a back-edge group.
+func loopBody(p *program.Program, l NaturalLoop) []int {
+	in := map[int]bool{l.Header: true}
+	var stack []int
+	for _, e := range l.Back {
+		if !in[e.From] {
+			in[e.From] = true
+			stack = append(stack, e.From)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range p.Blocks[n].Preds {
+			if !in[q] {
+				in[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	blocks := make([]int, 0, len(in))
+	for b := range in {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	return blocks
+}
+
+// ReversePostOrder returns the blocks reachable from the entry in
+// reverse post-order.
+func ReversePostOrder(p *program.Program) []int {
+	visited := make([]bool, len(p.Blocks))
+	var post []int
+	type frame struct {
+		node, next int
+	}
+	var stack []frame
+	push := func(n int) {
+		visited[n] = true
+		stack = append(stack, frame{node: n})
+	}
+	push(p.Entry)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := p.Blocks[f.node].Succs
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !visited[s] {
+				push(s)
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i, n := range post {
+		rpo[len(post)-1-i] = n
+	}
+	return rpo
+}
+
+// Reducible reports whether every cycle of the CFG goes through a
+// natural-loop back edge (equivalently: removing back edges leaves an
+// acyclic graph). Builder-produced programs are reducible by
+// construction; irreducible graphs would invalidate the loop-bound
+// constraints of IPET.
+func Reducible(p *program.Program) bool {
+	idom := Dominators(p)
+	back := make(map[program.Edge]bool)
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if idom[b.ID] != -1 && Dominates(idom, s, b.ID) {
+				back[program.Edge{From: b.ID, To: s}] = true
+			}
+		}
+	}
+	// Kahn's algorithm on the graph without back edges.
+	indeg := make([]int, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if !back[program.Edge{From: b.ID, To: s}] {
+				indeg[s]++
+			}
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, s := range p.Blocks[n].Succs {
+			if back[program.Edge{From: n, To: s}] {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen == len(p.Blocks)
+}
+
+// VerifyLoopMetadata cross-checks the builder's loop records against the
+// independently computed natural loops: same headers, same back edges,
+// same member sets. The WCET analyses rely on this agreement for the
+// soundness of loop-bound constraints.
+func VerifyLoopMetadata(p *program.Program) error {
+	natural := NaturalLoops(p)
+	natByHeader := make(map[int]NaturalLoop, len(natural))
+	for _, l := range natural {
+		natByHeader[l.Header] = l
+	}
+	if len(natural) != len(p.Loops) {
+		return fmt.Errorf("cfg: %d natural loops but %d builder loops", len(natural), len(p.Loops))
+	}
+	for _, bl := range p.Loops {
+		nl, ok := natByHeader[bl.Header]
+		if !ok {
+			return fmt.Errorf("cfg: builder loop %d header %d is not a natural-loop header", bl.ID, bl.Header)
+		}
+		if len(nl.Back) != len(bl.Back) {
+			return fmt.Errorf("cfg: loop at header %d: %d natural back edges, %d recorded",
+				bl.Header, len(nl.Back), len(bl.Back))
+		}
+		recorded := make(map[program.Edge]bool, len(bl.Back))
+		for _, e := range bl.Back {
+			recorded[e] = true
+		}
+		for _, e := range nl.Back {
+			if !recorded[e] {
+				return fmt.Errorf("cfg: loop at header %d: back edge %v not recorded by builder", bl.Header, e)
+			}
+		}
+		if len(nl.Blocks) != len(bl.Blocks) {
+			return fmt.Errorf("cfg: loop at header %d: natural body has %d blocks, builder %d",
+				bl.Header, len(nl.Blocks), len(bl.Blocks))
+		}
+		for i := range nl.Blocks {
+			if nl.Blocks[i] != bl.Blocks[i] {
+				return fmt.Errorf("cfg: loop at header %d: body mismatch at %d", bl.Header, i)
+			}
+		}
+	}
+	return nil
+}

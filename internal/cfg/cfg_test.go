@@ -1,0 +1,133 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/malardalen"
+	"repro/internal/progen"
+	"repro/internal/program"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	b := program.New("diamond")
+	b.Func("main").Ops(1).If(func(then *program.Body) { then.Ops(1) },
+		func(els *program.Body) { els.Ops(1) }).Ops(1)
+	p := b.MustBuild()
+	idom := Dominators(p)
+	if idom[p.Entry] != p.Entry {
+		t.Error("entry must self-dominate")
+	}
+	// The join block's immediate dominator is the condition block (the
+	// entry, here), not either branch.
+	cond := p.Entry
+	join := p.Exit
+	if idom[join] != cond {
+		t.Errorf("idom(join) = %d, want %d", idom[join], cond)
+	}
+	for _, blk := range p.Blocks {
+		if !Dominates(idom, p.Entry, blk.ID) {
+			t.Errorf("entry must dominate block %d", blk.ID)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	b := program.New("loop")
+	b.Func("main").Loop(3, func(l *program.Body) { l.Ops(1) }).Ops(1)
+	p := b.MustBuild()
+	idom := Dominators(p)
+	h := p.Loops[0].Header
+	body := p.Loops[0].BodySucc
+	exit := p.Loops[0].ExitSucc
+	if !Dominates(idom, h, body) {
+		t.Error("header must dominate loop body")
+	}
+	if !Dominates(idom, h, exit) {
+		t.Error("header must dominate loop exit")
+	}
+	if Dominates(idom, body, h) {
+		t.Error("body must not dominate header")
+	}
+}
+
+func TestNaturalLoopsMatchBuilder(t *testing.T) {
+	for _, name := range malardalen.Names() {
+		p := malardalen.MustGet(name)
+		if err := VerifyLoopMetadata(p); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !Reducible(p) {
+			t.Errorf("%s: CFG not reducible", name)
+		}
+	}
+}
+
+func TestNaturalLoopsMatchBuilderRandom(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := progen.Random(rng, progen.DefaultParams())
+		if err := VerifyLoopMetadata(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !Reducible(p) {
+			t.Fatalf("seed %d: irreducible CFG from structured builder", seed)
+		}
+	}
+}
+
+func TestNestedNaturalLoops(t *testing.T) {
+	b := program.New("nest")
+	b.Func("main").Loop(2, func(o *program.Body) {
+		o.Loop(3, func(i *program.Body) { i.Ops(1) })
+	})
+	p := b.MustBuild()
+	loops := NaturalLoops(p)
+	if len(loops) != 2 {
+		t.Fatalf("natural loops = %d, want 2", len(loops))
+	}
+	// The outer loop's body strictly contains the inner loop's body.
+	var inner, outer NaturalLoop
+	if len(loops[0].Blocks) < len(loops[1].Blocks) {
+		inner, outer = loops[0], loops[1]
+	} else {
+		inner, outer = loops[1], loops[0]
+	}
+	member := make(map[int]bool)
+	for _, blk := range outer.Blocks {
+		member[blk] = true
+	}
+	for _, blk := range inner.Blocks {
+		if !member[blk] {
+			t.Errorf("inner block %d outside outer loop", blk)
+		}
+	}
+}
+
+func TestReversePostOrderProperties(t *testing.T) {
+	p := malardalen.MustGet("adpcm")
+	rpo := ReversePostOrder(p)
+	pos := make(map[int]int, len(rpo))
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	if rpo[0] != p.Entry {
+		t.Error("RPO must start at the entry")
+	}
+	idom := Dominators(p)
+	back := 0
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if Dominates(idom, s, b.ID) {
+				back++
+				continue // back edges go against RPO by definition
+			}
+			if pos[s] < pos[b.ID] {
+				t.Errorf("forward edge %d->%d goes against RPO", b.ID, s)
+			}
+		}
+	}
+	if back != len(p.Loops) {
+		t.Errorf("%d back edges, %d loops", back, len(p.Loops))
+	}
+}

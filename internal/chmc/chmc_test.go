@@ -1,0 +1,39 @@
+package chmc
+
+import "testing"
+
+func TestString(t *testing.T) {
+	for c, want := range map[Class]string{
+		AlwaysHit: "AH", FirstMiss: "FM", AlwaysMiss: "AM", NotClassified: "NC", Class(9): "?",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestCountsAsMiss(t *testing.T) {
+	if AlwaysHit.CountsAsMiss() || FirstMiss.CountsAsMiss() {
+		t.Error("AH/FM must not count as per-execution miss")
+	}
+	if !AlwaysMiss.CountsAsMiss() || !NotClassified.CountsAsMiss() {
+		t.Error("AM/NC must count as per-execution miss (paper setup)")
+	}
+}
+
+func TestWorseThanOrdering(t *testing.T) {
+	order := []Class{AlwaysHit, FirstMiss, AlwaysMiss}
+	for i, lo := range order {
+		for j, hi := range order {
+			got := hi.WorseThan(lo)
+			want := j >= i
+			if got != want {
+				t.Errorf("%v.WorseThan(%v) = %v, want %v", hi, lo, got, want)
+			}
+		}
+	}
+	// NC and AM are equally costly.
+	if !NotClassified.WorseThan(AlwaysMiss) || !AlwaysMiss.WorseThan(NotClassified) {
+		t.Error("NC and AM must be mutually WorseThan (same cost rank)")
+	}
+}

@@ -1,0 +1,402 @@
+// Package core implements the paper's contribution: static probabilistic
+// WCET estimation for set-associative LRU instruction caches with
+// permanently faulty blocks, under three architectures — no protection
+// (the baseline of Hardy & Puaut, RTS 2015), the Reliable Way (RW), and
+// the Shared Reliable Buffer (SRB) (Sections II.C and III of the paper).
+//
+// The pipeline per program and configuration:
+//
+//  1. classify every reference with the Must/May/Persistence analyses
+//     (internal/absint) and compute the fault-free WCET by IPET
+//     (internal/ipet);
+//  2. compute the Fault Miss Map: per set s and per number of faulty
+//     blocks f, an ILP upper-bounds the fault-induced misses, with the
+//     mechanism-specific handling of the f = W column;
+//  3. turn each set's FMM row into a discrete penalty distribution
+//     weighted by the faulty-way probabilities (equations 2 and 3) and
+//     convolve the per-set distributions (sets are independent);
+//  4. read the pWCET at the target exceedance probability off the
+//     resulting distribution, on top of the fault-free WCET.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/absint"
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/chmc"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/ipet"
+	"repro/internal/program"
+)
+
+// DefaultTargetExceedance is the paper's target probability: 10^-15 per
+// task activation (commercial aerospace, Section IV.A).
+const DefaultTargetExceedance = 1e-15
+
+// DefaultMaxSupport caps the penalty distribution support during
+// convolution; coarsening is conservative (CCDF upper bound).
+const DefaultMaxSupport = 4096
+
+// Options configures one analysis.
+type Options struct {
+	// Cache is the cache geometry and timing. Zero value = PaperConfig.
+	Cache cache.Config
+	// Pfail is the per-bit permanent failure probability (paper: 1e-4).
+	Pfail float64
+	// Mechanism selects the reliability hardware.
+	Mechanism cache.Mechanism
+	// TargetExceedance is the probability at which the pWCET is read
+	// (default 1e-15).
+	TargetExceedance float64
+	// MaxSupport caps the convolution support size (default 4096).
+	MaxSupport int
+	// PreciseSRB enables the refined SRB analysis of internal/core's
+	// precise.go (the paper's future-work item): per-set private SRB
+	// classification combined with the conservative one through a sound
+	// probability mixture. Only meaningful with MechanismSRB.
+	PreciseSRB bool
+	// DataCache, when non-nil, additionally analyzes the program's data
+	// accesses (Body.Load/Store) against this data-cache configuration —
+	// the paper's "transpose the hardware and corresponding analyses to
+	// data caches" future-work direction. The same pfail and mechanism
+	// apply to both caches; their fault populations are independent, so
+	// the two penalty distributions convolve. Not combinable with
+	// PreciseSRB.
+	DataCache *cache.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cache == (cache.Config{}) {
+		o.Cache = cache.PaperConfig()
+	}
+	if o.TargetExceedance == 0 {
+		o.TargetExceedance = DefaultTargetExceedance
+	}
+	if o.MaxSupport == 0 {
+		o.MaxSupport = DefaultMaxSupport
+	}
+	return o
+}
+
+// Result is the outcome of one pWCET analysis.
+type Result struct {
+	// Program is the analyzed program's name.
+	Program string
+	// Options echoes the effective analysis options (defaults resolved).
+	Options Options
+	// Model is the derived fault model (pbf from equation 1).
+	Model fault.Model
+	// FaultFreeWCET is the deterministic WCET with zero faults, in
+	// cycles.
+	FaultFreeWCET int64
+	// FMM is the fault miss map (misses, not cycles): FMM[s][f].
+	FMM ipet.FMM
+	// PerSet holds each set's penalty distribution in cycles.
+	PerSet []*dist.Dist
+	// Penalty is the convolution of the per-set distributions: the
+	// distribution of the total fault-induced penalty in cycles.
+	Penalty *dist.Dist
+	// PWCET is the probabilistic WCET at TargetExceedance:
+	// FaultFreeWCET + penalty quantile.
+	PWCET int64
+	// HitRefs, FMRefs, MissRefs count reference classifications.
+	HitRefs, FMRefs, MissRefs int
+
+	// FMMPrecise and PenaltyPrecise hold the refined SRB analysis
+	// (Options.PreciseSRB): a fault miss map and penalty distribution
+	// that are sound for fault maps with at most one entirely faulty
+	// set. ProbMultiFullSets is P(two or more sets entirely faulty),
+	// the additive term of the mixture bound. All nil/zero unless
+	// PreciseSRB was requested.
+	FMMPrecise        ipet.FMM
+	PenaltyPrecise    *dist.Dist
+	ProbMultiFullSets float64
+
+	// DataModel and DataFMM hold the data-cache analysis when
+	// Options.DataCache was set; the data-cache penalty is already
+	// convolved into Penalty.
+	DataModel fault.Model
+	DataFMM   ipet.FMM
+}
+
+// Analyze runs the full pWCET analysis of one program.
+func Analyze(p *program.Program, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.TargetExceedance <= 0 || opt.TargetExceedance >= 1 {
+		return nil, fmt.Errorf("core: target exceedance %g outside (0,1)", opt.TargetExceedance)
+	}
+	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	if err != nil {
+		return nil, err
+	}
+	// Soundness gate: the loop-bound constraints of IPET are only valid
+	// if the recorded loops are exactly the CFG's natural loops and the
+	// graph is reducible. Verified independently (internal/cfg).
+	if err := cfg.VerifyLoopMetadata(p); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", p.Name, err)
+	}
+	if !cfg.Reducible(p) {
+		return nil, fmt.Errorf("core: %s: irreducible control flow", p.Name)
+	}
+
+	if opt.DataCache != nil && opt.PreciseSRB {
+		return nil, fmt.Errorf("core: PreciseSRB is not supported together with a data cache")
+	}
+
+	sys, err := ipet.NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	a := absint.New(p, opt.Cache)
+	base := a.ClassifyAll()
+
+	var da *absint.Analyzer
+	var dbase []chmc.Class
+	var dmodel fault.Model
+	if opt.DataCache != nil {
+		if err := opt.DataCache.Validate(); err != nil {
+			return nil, fmt.Errorf("core: data cache: %w", err)
+		}
+		dmodel, err = fault.NewModel(opt.Pfail, *opt.DataCache)
+		if err != nil {
+			return nil, err
+		}
+		da = absint.NewData(p, *opt.DataCache)
+		dbase = da.ClassifyAll()
+	}
+
+	wres, err := ipet.WCETCombined(sys, a, base, da, dbase)
+	if err != nil {
+		return nil, err
+	}
+
+	fopt := ipet.FMMOptions{Mechanism: opt.Mechanism}
+	if opt.Mechanism == cache.MechanismSRB {
+		fopt.SRBHit = a.ClassifySRB()
+	}
+	fmm, err := ipet.ComputeFMM(sys, a, base, fopt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Program:       p.Name,
+		Options:       opt,
+		Model:         model,
+		FaultFreeWCET: wres.WCET,
+		FMM:           fmm,
+		HitRefs:       wres.HitRefs,
+		FMRefs:        wres.FMRefs,
+		MissRefs:      wres.MissRefs,
+	}
+	if da != nil {
+		dfopt := ipet.FMMOptions{Mechanism: opt.Mechanism}
+		if opt.Mechanism == cache.MechanismSRB {
+			dfopt.SRBHit = da.ClassifySRB()
+		}
+		dfmm, err := ipet.ComputeFMM(sys, da, dbase, dfopt)
+		if err != nil {
+			return nil, err
+		}
+		res.DataModel = dmodel
+		res.DataFMM = dfmm
+	}
+	if err := res.buildDistributions(); err != nil {
+		return nil, err
+	}
+	if opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB {
+		if err := res.buildPreciseSRB(sys, a, base); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// buildDistributions derives the per-set penalty distributions from the
+// FMM and the faulty-way probabilities, convolves them (including the
+// data cache's, whose fault population is independent), and reads the
+// pWCET quantile.
+func (r *Result) buildDistributions() error {
+	cfg := r.Options.Cache
+	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
+		dist.Degenerate(0), r.Options.MaxSupport)
+	if err != nil {
+		return err
+	}
+	r.PerSet = perSet
+	if r.DataFMM != nil {
+		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
+			r.Options.Mechanism, penalty, r.Options.MaxSupport)
+		if err != nil {
+			return err
+		}
+	}
+	r.Penalty = penalty
+	r.PWCET = r.FaultFreeWCET + penalty.QuantileExceedance(r.Options.TargetExceedance)
+	return nil
+}
+
+// convolveFMM folds one cache's per-set penalty distributions into an
+// accumulator distribution.
+func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.Mechanism,
+	acc *dist.Dist, maxSupport int) ([]*dist.Dist, *dist.Dist, error) {
+	var pwf []float64
+	if mech == cache.MechanismRW {
+		pwf = fault.PWFReliableWay(cfg.Ways, model.PBF) // equation 3
+	} else {
+		pwf = fault.PWF(cfg.Ways, model.PBF) // equation 2
+	}
+	perSet := make([]*dist.Dist, cfg.Sets)
+	for s := 0; s < cfg.Sets; s++ {
+		pts := make([]dist.Point, 0, len(pwf))
+		for f, prob := range pwf {
+			pts = append(pts, dist.Point{
+				Value: fmm[s][f] * cfg.MissPenalty(),
+				Prob:  prob,
+			})
+		}
+		d, err := dist.New(pts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: set %d penalty distribution: %w", s, err)
+		}
+		perSet[s] = d
+		acc = acc.Convolve(d).CoarsenTo(maxSupport)
+	}
+	return perSet, acc, nil
+}
+
+// PWCETAt returns the pWCET at an arbitrary exceedance probability,
+// using the mixture bound when the precise SRB analysis is enabled.
+func (r *Result) PWCETAt(p float64) int64 {
+	if r.PenaltyPrecise != nil {
+		return r.FaultFreeWCET + r.mixtureQuantile(p)
+	}
+	return r.FaultFreeWCET + r.Penalty.QuantileExceedance(p)
+}
+
+// ExceedanceCurve returns the complementary cumulative distribution of
+// the pWCET (Figure 3): pairs (execution time, probability that the WCET
+// exceeds it).
+func (r *Result) ExceedanceCurve() []dist.Point {
+	return r.Penalty.Shift(r.FaultFreeWCET).Curve()
+}
+
+// Gain returns the relative pWCET reduction of a protected architecture
+// against a baseline (paper Section IV.B: gain of RW/SRB vs no
+// protection).
+func Gain(baseline, protected *Result) float64 {
+	if baseline.PWCET == 0 {
+		return 0
+	}
+	return 1 - float64(protected.PWCET)/float64(baseline.PWCET)
+}
+
+// AnalyzeAll runs the analysis for the three architectures of the paper's
+// evaluation, sharing the expensive common work: the cache analyses, the
+// IPET system (with its warm simplex basis) and the FMM columns for
+// f < W are identical across mechanisms; only the f = W column differs
+// (absent for RW, SRB-filtered for SRB). The results are identical to
+// three independent Analyze calls (asserted by tests) at roughly a third
+// of the cost. Options fields that specialize a single mechanism
+// (PreciseSRB, DataCache) are not supported here — use Analyze.
+func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, error) {
+	if opt.PreciseSRB || opt.DataCache != nil {
+		return nil, fmt.Errorf("core: AnalyzeAll does not support PreciseSRB or DataCache; call Analyze per mechanism")
+	}
+	opt = opt.withDefaults()
+	if err := opt.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.TargetExceedance <= 0 || opt.TargetExceedance >= 1 {
+		return nil, fmt.Errorf("core: target exceedance %g outside (0,1)", opt.TargetExceedance)
+	}
+	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.VerifyLoopMetadata(p); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", p.Name, err)
+	}
+	if !cfg.Reducible(p) {
+		return nil, fmt.Errorf("core: %s: irreducible control flow", p.Name)
+	}
+
+	sys, err := ipet.NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	a := absint.New(p, opt.Cache)
+	base := a.ClassifyAll()
+	wres, err := ipet.WCET(sys, a, base)
+	if err != nil {
+		return nil, err
+	}
+
+	// One FMM per distinct f = W column; f < W columns coincide.
+	fmmNone, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{Mechanism: cache.MechanismNone})
+	if err != nil {
+		return nil, err
+	}
+	srbColumn, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
+		Mechanism:          cache.MechanismSRB,
+		SRBHit:             a.ClassifySRB(),
+		OnlyWholeSetColumn: true, // f < W columns coincide with fmmNone's
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmmSRB := make(ipet.FMM, len(fmmNone))
+	fmmRW := make(ipet.FMM, len(fmmNone))
+	for s, row := range fmmNone {
+		fmmSRB[s] = append([]int64(nil), row...)
+		fmmSRB[s][opt.Cache.Ways] = srbColumn[s][opt.Cache.Ways]
+		fmmRW[s] = append([]int64(nil), row...)
+		fmmRW[s][opt.Cache.Ways] = 0 // the column equation 3 excludes
+	}
+
+	out := make(map[cache.Mechanism]*Result, 3)
+	for m, fmm := range map[cache.Mechanism]ipet.FMM{
+		cache.MechanismNone: fmmNone,
+		cache.MechanismRW:   fmmRW,
+		cache.MechanismSRB:  fmmSRB,
+	} {
+		o := opt
+		o.Mechanism = m
+		res := &Result{
+			Program:       p.Name,
+			Options:       o,
+			Model:         model,
+			FaultFreeWCET: wres.WCET,
+			FMM:           fmm,
+			HitRefs:       wres.HitRefs,
+			FMRefs:        wres.FMRefs,
+			MissRefs:      wres.MissRefs,
+		}
+		if err := res.buildDistributions(); err != nil {
+			return nil, err
+		}
+		out[m] = res
+	}
+	return out, nil
+}
+
+// Classification bundles the reference classification of a program so
+// reporting tools and tests can inspect it without re-running fixpoints.
+type Classification struct {
+	Refs    []absint.Ref
+	Classes []chmc.Class
+	SRBHit  []bool
+}
+
+// Classify runs only the cache analyses (no ILP) and returns the
+// fault-free classification of every reference.
+func Classify(p *program.Program, cfg cache.Config) *Classification {
+	a := absint.New(p, cfg)
+	return &Classification{Refs: a.Refs(), Classes: a.ClassifyAll(), SRBHit: a.ClassifySRB()}
+}

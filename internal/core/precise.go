@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/absint"
+	"repro/internal/chmc"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/ipet"
+)
+
+// This file implements the paper's future-work item (Section VI): "a
+// more precise pWCET estimation technique for the SRB could be devised
+// to limit the conservatism of the proposed technique".
+//
+// The conservative SRB analysis assumes every reference may reload the
+// buffer, because any set could be entirely faulty. But the SRB is only
+// consulted by references whose set IS entirely faulty; on a chip where
+// at most one set is entirely faulty, the buffer is private to that set
+// and retains its content across other sets' accesses, exposing
+// temporal locality the conservative analysis discards.
+//
+// Let E be the number of entirely faulty sets, q = pbf^W, so
+//
+//	P(E >= 2) = 1 - (1-q)^S - S q (1-q)^(S-1).
+//
+// With D_prec the penalty distribution built from the per-set precise
+// SRB classification (sound conditional on E <= 1) and D_cons the
+// conservative one (sound unconditionally):
+//
+//	P(penalty > t) <= min( CCDF_cons(t), CCDF_prec(t) + P(E >= 2) )
+//
+// because {penalty > t} splits into {penalty > t, E <= 1}, whose
+// probability CCDF_prec(t) upper-bounds, and {E >= 2}, whose probability
+// is the additive term. The mixture is therefore a sound exceedance
+// bound that is tighter whenever the target probability exceeds
+// P(E >= 2) (about 8.4e-14 for the paper's configuration — so the
+// paper's 1e-15 target cannot benefit, but certification targets of
+// 1e-9..1e-12 do; the ablation bench quantifies this).
+
+// probMultiFullSets returns P(E >= 2) for S independent sets whose
+// probability of being entirely faulty is q = pbf^W each.
+func probMultiFullSets(pbf float64, sets, ways int) float64 {
+	q := math.Pow(pbf, float64(ways))
+	s := float64(sets)
+	return 1 - math.Pow(1-q, s) - s*q*math.Pow(1-q, s-1)
+}
+
+// buildPreciseSRB computes the precise FMM and penalty distribution and
+// attaches them to the result. Must be called after buildDistributions.
+func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []chmc.Class) error {
+	cfg := r.Options.Cache
+	fmm, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
+		Mechanism:  r.Options.Mechanism,
+		PreciseSRB: true,
+	})
+	if err != nil {
+		return err
+	}
+	r.FMMPrecise = fmm
+
+	pwf := fault.PWF(cfg.Ways, r.Model.PBF)
+	penalty := dist.Degenerate(0)
+	for s := 0; s < cfg.Sets; s++ {
+		pts := make([]dist.Point, 0, len(pwf))
+		for f, prob := range pwf {
+			pts = append(pts, dist.Point{Value: fmm[s][f] * cfg.MissPenalty(), Prob: prob})
+		}
+		d, err := dist.New(pts)
+		if err != nil {
+			return err
+		}
+		penalty = penalty.Convolve(d).CoarsenTo(r.Options.MaxSupport)
+	}
+	r.PenaltyPrecise = penalty
+	r.ProbMultiFullSets = probMultiFullSets(r.Model.PBF, cfg.Sets, cfg.Ways)
+	r.PWCET = r.FaultFreeWCET + r.mixtureQuantile(r.Options.TargetExceedance)
+	return nil
+}
+
+// MixtureCCDF returns the sound exceedance bound at penalty t combining
+// the conservative and precise distributions (see file comment). When
+// the precise analysis is disabled it degrades to the conservative CCDF.
+func (r *Result) MixtureCCDF(t int64) float64 {
+	cons := r.Penalty.CCDF(t)
+	if r.PenaltyPrecise == nil {
+		return cons
+	}
+	prec := r.PenaltyPrecise.CCDF(t) + r.ProbMultiFullSets
+	return math.Min(cons, prec)
+}
+
+// mixtureQuantile returns the smallest penalty t with MixtureCCDF(t) <=
+// target, scanning the union of both supports.
+func (r *Result) mixtureQuantile(target float64) int64 {
+	values := make([]int64, 0, r.Penalty.Len()+r.PenaltyPrecise.Len())
+	for _, p := range r.Penalty.Points() {
+		values = append(values, p.Value)
+	}
+	for _, p := range r.PenaltyPrecise.Points() {
+		values = append(values, p.Value)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, v := range values {
+		if r.MixtureCCDF(v) <= target {
+			return v
+		}
+	}
+	return values[len(values)-1]
+}

@@ -1,0 +1,101 @@
+// Package fault implements the paper's permanent-fault model
+// (Section II.A): every SRAM cell fails independently with probability
+// pfail; a cache block with at least one faulty bit is disabled.
+//
+// Equations implemented:
+//
+//	pbf    = 1 - (1-pfail)^K                       (1)
+//	pwf(w) = C(W,w)   pbf^w (1-pbf)^(W-w)          (2)
+//	pwf(w) = C(W-1,w) pbf^w (1-pbf)^(W-1-w)        (3, Reliable Way)
+//
+// The package also samples concrete fault maps for Monte-Carlo validation.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cache"
+)
+
+// PBF returns the probability that a cache block of blockBits bits holds
+// at least one permanently faulty cell (equation 1).
+func PBF(pfail float64, blockBits int) float64 {
+	if pfail <= 0 {
+		return 0
+	}
+	if pfail >= 1 {
+		return 1
+	}
+	// 1-(1-p)^K computed stably via expm1/log1p for tiny p.
+	return -math.Expm1(float64(blockBits) * math.Log1p(-pfail))
+}
+
+// PWF returns the distribution of the number of faulty ways among W
+// (equation 2): PWF(W, pbf)[w] = P(exactly w faulty ways), w in [0, W].
+func PWF(ways int, pbf float64) []float64 {
+	return binomial(ways, pbf)
+}
+
+// PWFReliableWay returns the faulty-way distribution under the Reliable
+// Way mechanism (equation 3): faults in the fixed reliable way are
+// masked, so only W-1 ways can fail; the result has W entries for
+// w in [0, W-1].
+func PWFReliableWay(ways int, pbf float64) []float64 {
+	return binomial(ways-1, pbf)
+}
+
+func binomial(n int, p float64) []float64 {
+	out := make([]float64, n+1)
+	for w := 0; w <= n; w++ {
+		out[w] = choose(n, w) * math.Pow(p, float64(w)) * math.Pow(1-p, float64(n-w))
+	}
+	return out
+}
+
+func choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// Model bundles the fault parameters of one analysis.
+type Model struct {
+	// Pfail is the per-bit probability of permanent failure.
+	Pfail float64
+	// PBF is the derived per-block failure probability (equation 1).
+	PBF float64
+}
+
+// NewModel derives the block-failure probability for a cache
+// configuration (equation 1 with K = block size in bits).
+func NewModel(pfail float64, cfg cache.Config) (Model, error) {
+	if pfail < 0 || pfail > 1 || math.IsNaN(pfail) {
+		return Model{}, fmt.Errorf("fault: pfail %g outside [0,1]", pfail)
+	}
+	return Model{Pfail: pfail, PBF: PBF(pfail, cfg.BlockBits())}, nil
+}
+
+// SampleFaultMap draws a random fault map: each block is independently
+// faulty with probability m.PBF. This realizes the paper's "locations of
+// permanently faulty SRAM cells are random" assumption at block grain.
+func (m Model) SampleFaultMap(rng *rand.Rand, cfg cache.Config) cache.FaultMap {
+	fm := cache.NewFaultMap(cfg.Sets, cfg.Ways)
+	for s := 0; s < cfg.Sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			if rng.Float64() < m.PBF {
+				fm[s][w] = true
+			}
+		}
+	}
+	return fm
+}

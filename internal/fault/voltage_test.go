@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVoltageModelCalibration(t *testing.T) {
+	m := DefaultVoltageModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's [5] citation: pfail = 1e-3 at 0.5V (32nm).
+	if got := m.Pfail(0.5); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("pfail(0.5V) = %g, want 1e-3", got)
+	}
+	// One decade per Decade volts.
+	if got := m.Pfail(0.5 + m.Decade); math.Abs(got-1e-4) > 1e-12 {
+		t.Errorf("pfail(Vmin+decade) = %g, want 1e-4", got)
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	m := DefaultVoltageModel()
+	prev := 2.0
+	for v := 0.4; v <= 1.1; v += 0.05 {
+		p := m.Pfail(v)
+		if p > prev {
+			t.Fatalf("pfail not decreasing at %gV", v)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("pfail(%gV) = %g outside [0,1]", v, p)
+		}
+		prev = p
+	}
+	// Deep undervolting clamps at 1.
+	if got := m.Pfail(0.01); got != 1 {
+		t.Errorf("pfail(0.01V) = %g, want 1 (clamped)", got)
+	}
+}
+
+func TestMinVoltageFor(t *testing.T) {
+	m := DefaultVoltageModel()
+	v, err := m.MinVoltageFor(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip: pfail at the returned voltage equals the target.
+	if got := m.Pfail(v); math.Abs(got-1e-4)/1e-4 > 1e-9 {
+		t.Errorf("pfail(MinVoltageFor(1e-4)) = %g", got)
+	}
+	// Tighter targets need higher voltages.
+	v2, err := m.MinVoltageFor(1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v {
+		t.Errorf("voltage for 1e-8 (%g) not above voltage for 1e-4 (%g)", v2, v)
+	}
+	if _, err := m.MinVoltageFor(0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := m.MinVoltageFor(1); err == nil {
+		t.Error("target 1 accepted")
+	}
+}
+
+func TestVoltageModelValidate(t *testing.T) {
+	for _, bad := range []VoltageModel{
+		{Vmin: 0.5, PfailAtVmin: 0, Decade: 0.1},
+		{Vmin: 0.5, PfailAtVmin: 2, Decade: 0.1},
+		{Vmin: 0.5, PfailAtVmin: 1e-3, Decade: 0},
+		{Vmin: 0, PfailAtVmin: 1e-3, Decade: 0.1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid model %+v accepted", bad)
+		}
+	}
+}

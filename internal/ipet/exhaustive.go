@@ -1,0 +1,112 @@
+package ipet
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// ExhaustiveMax computes max over all structurally feasible paths of
+// sum(weights[b] * executions(b)) by explicit path enumeration: loops
+// iterate any number of times from 0 to their bound, branches explore
+// every successor. It is exponential and only usable on small programs;
+// its purpose is to cross-validate the IPET ILP (the two must agree
+// exactly, since the ILP's feasible region at integrality is precisely
+// the set of path profiles of this enumeration).
+//
+// nodeBudget caps the number of enumeration steps; exceeding it returns
+// an error rather than an unsound partial maximum.
+func ExhaustiveMax(p *program.Program, weights []float64, nodeBudget int) (float64, error) {
+	if len(weights) != len(p.Blocks) {
+		return 0, fmt.Errorf("ipet: %d weights for %d blocks", len(weights), len(p.Blocks))
+	}
+	headerLoop := make(map[int]*program.Loop, len(p.Loops))
+	for _, l := range p.Loops {
+		headerLoop[l.Header] = l
+	}
+
+	type frame struct {
+		loop      *program.Loop
+		remaining int64
+	}
+	nodes := 0
+	var walk func(cur int, stack []frame, acc float64) (float64, error)
+	walk = func(cur int, stack []frame, acc float64) (float64, error) {
+		nodes++
+		if nodes > nodeBudget {
+			return 0, fmt.Errorf("ipet: exhaustive enumeration exceeded %d nodes", nodeBudget)
+		}
+		acc += weights[cur]
+		if cur == p.Exit {
+			return acc, nil
+		}
+		b := p.Blocks[cur]
+
+		if l := headerLoop[cur]; l != nil {
+			// At a loop header: either continue iterating (if the
+			// current frame has budget) or exit the loop.
+			if len(stack) > 0 && stack[len(stack)-1].loop == l {
+				top := stack[len(stack)-1]
+				best := 0.0
+				found := false
+				if top.remaining > 0 {
+					ns := append(stack[:len(stack)-1:len(stack)-1],
+						frame{loop: l, remaining: top.remaining - 1})
+					v, err := walk(l.BodySucc, ns, acc)
+					if err != nil {
+						return 0, err
+					}
+					best, found = v, true
+				}
+				v, err := walk(l.ExitSucc, stack[:len(stack)-1], acc)
+				if err != nil {
+					return 0, err
+				}
+				if !found || v > best {
+					best = v
+				}
+				return best, nil
+			}
+			// Fresh entry: choose to iterate (bound-1 more afterwards)
+			// or skip the loop entirely.
+			best := 0.0
+			found := false
+			if l.Bound > 0 {
+				ns := append(stack[:len(stack):len(stack)], frame{loop: l, remaining: l.Bound - 1})
+				v, err := walk(l.BodySucc, ns, acc)
+				if err != nil {
+					return 0, err
+				}
+				best, found = v, true
+			}
+			v, err := walk(l.ExitSucc, stack, acc)
+			if err != nil {
+				return 0, err
+			}
+			if !found || v > best {
+				best = v
+			}
+			return best, nil
+		}
+
+		switch len(b.Succs) {
+		case 0:
+			return 0, fmt.Errorf("ipet: dead end at block %d", cur)
+		case 1:
+			return walk(b.Succs[0], stack, acc)
+		default:
+			best := 0.0
+			for i, s := range b.Succs {
+				v, err := walk(s, stack, acc)
+				if err != nil {
+					return 0, err
+				}
+				if i == 0 || v > best {
+					best = v
+				}
+			}
+			return best, nil
+		}
+	}
+	return walk(p.Entry, nil, 0)
+}

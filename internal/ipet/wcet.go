@@ -1,0 +1,259 @@
+package ipet
+
+import (
+	"math"
+
+	"repro/internal/absint"
+	"repro/internal/cache"
+	"repro/internal/chmc"
+)
+
+// WCETResult is the fault-free WCET and its witness path.
+type WCETResult struct {
+	// WCET is the fault-free worst-case execution time in cycles.
+	WCET int64
+	// BlockCounts is the block execution profile of the worst path.
+	BlockCounts []float64
+	// HitRefs, FMRefs, MissRefs count the instruction-reference
+	// classifications used.
+	HitRefs, FMRefs, MissRefs int
+	// DataHitRefs, DataFMRefs, DataMissRefs count the data-reference
+	// classifications (combined analyses only).
+	DataHitRefs, DataFMRefs, DataMissRefs int
+}
+
+// WCET computes the fault-free worst-case execution time (Section II.B)
+// from the IPET system, the reference lists and their classifications.
+//
+// Cost model (paper Section IV.A): every instruction fetch costs the
+// cache hit latency; every always-miss (or not-classified, treated alike)
+// reference adds the miss penalty on each execution; every first-miss
+// reference adds the miss penalty once per run, accounted as a constant
+// since the persistence scope is the whole program.
+func WCET(sys *System, a *absint.Analyzer, classes []chmc.Class) (*WCETResult, error) {
+	return WCETCombined(sys, a, classes, nil, nil)
+}
+
+// WCETCombined computes the fault-free WCET accounting both instruction
+// fetches (through ia) and, when da is non-nil, data accesses (through
+// da, built with absint.NewData against the data-cache configuration).
+// Both reference streams are evaluated on the same worst-case path: the
+// ILP objective is the sum of their block weights. Each data access
+// costs the data cache's hit latency, plus its miss penalty per the
+// data classification.
+func WCETCombined(sys *System, ia *absint.Analyzer, icls []chmc.Class,
+	da *absint.Analyzer, dcls []chmc.Class) (*WCETResult, error) {
+	icfg := ia.Config()
+	weights := make([]float64, len(sys.p.Blocks))
+	constant := 0.0
+	res := &WCETResult{}
+	for _, b := range sys.p.Blocks {
+		w := float64(b.NumInstr) * float64(icfg.HitLatency)
+		for _, r := range ia.RefsOf(b.ID) {
+			switch {
+			case icls[r.Global].CountsAsMiss():
+				w += float64(icfg.MissPenalty())
+				res.MissRefs++
+			case icls[r.Global] == chmc.FirstMiss:
+				constant += float64(icfg.MissPenalty())
+				res.FMRefs++
+			default:
+				res.HitRefs++
+			}
+		}
+		if da != nil {
+			dcfg := da.Config()
+			for _, r := range da.RefsOf(b.ID) {
+				w += float64(r.NumInstr) * float64(dcfg.HitLatency)
+				switch {
+				case dcls[r.Global].CountsAsMiss():
+					w += float64(dcfg.MissPenalty())
+					res.DataMissRefs++
+				case dcls[r.Global] == chmc.FirstMiss:
+					constant += float64(dcfg.MissPenalty())
+					res.DataFMRefs++
+				default:
+					res.DataHitRefs++
+				}
+			}
+		}
+		weights[b.ID] = w
+	}
+	r, err := sys.MaximizeBlockWeights(weights, constant)
+	if err != nil {
+		return nil, err
+	}
+	res.WCET = int64(math.Round(r.Objective))
+	res.BlockCounts = r.BlockCounts
+	return res, nil
+}
+
+// FMM is the Fault Miss Map (Figure 1.a): FMM[s][f] upper-bounds the
+// number of fault-induced misses of cache set s when exactly f of its
+// blocks are faulty, maximized over all structurally feasible paths.
+type FMM [][]int64
+
+// Entry returns FMM[set][faulty].
+func (m FMM) Entry(set, faulty int) int64 { return m[set][faulty] }
+
+// FMMOptions selects how the all-ways-faulty column (f = W) is computed.
+type FMMOptions struct {
+	// Mechanism selects the reliability hardware. MechanismRW leaves the
+	// f = W column zero (it can never occur and is excluded from the
+	// penalty distribution by equation 3). MechanismSRB filters
+	// SRB-guaranteed hits out of the f = W column. MechanismNone counts
+	// the full per-instruction miss stream of faulty sets.
+	Mechanism cache.Mechanism
+	// SRBHit marks references guaranteed to hit in the SRB (by
+	// Analyzer.ClassifySRB); required when Mechanism is MechanismSRB.
+	SRBHit []bool
+	// PreciseSRB switches the f = W column of each set to the precise
+	// per-set SRB analysis (Analyzer.ClassifySRBForSet): the SRB is
+	// treated as a one-way cache private to the set, which assumes the
+	// set is the only fully faulty one. The resulting FMM is only sound
+	// for fault maps with at most one fully faulty set; see the mixture
+	// bound in internal/core.
+	PreciseSRB bool
+	// ConservativeFM disables the first-miss constant credits (the
+	// "-1 per run" terms), reverting to the plainly conservative
+	// accounting. Exposed for the ablation study; the default (false)
+	// is tighter and equally sound.
+	ConservativeFM bool
+	// OnlyWholeSetColumn computes only the f = W column, leaving the
+	// others zero. The f < W columns are mechanism-independent, so
+	// callers comparing mechanisms can compute them once and splice
+	// (core.AnalyzeAll does).
+	OnlyWholeSetColumn bool
+}
+
+// ComputeFMM builds the fault miss map for every set and fault count
+// f in [0, W]. base must be the full-associativity classification
+// (Analyzer.ClassifyAll).
+//
+// For f < W the degraded classification of the set at associativity W-f
+// is compared against the baseline: a reference that degrades from
+// always-hit to always-miss contributes one extra miss per execution,
+// from always-hit to first-miss one extra miss per run, from first-miss
+// to always-miss one extra miss per execution (the baseline's one-time
+// miss is conservatively not deducted).
+//
+// For f = W (no usable ways) the set caches nothing, so without
+// protection every instruction fetch of the set misses: a reference with
+// k instructions contributes k extra misses per execution (k-1 if it was
+// already an always-miss). With the SRB, the set's fetch stream is served
+// by the one-block buffer: each reference costs at most one miss per
+// execution, and none if it is SRB-guaranteed (Section III.B.2).
+func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptions) (FMM, error) {
+	cfg := a.Config()
+	fmm := make(FMM, cfg.Sets)
+	for set := 0; set < cfg.Sets; set++ {
+		fmm[set] = make([]int64, cfg.Ways+1)
+		for f := 1; f <= cfg.Ways; f++ {
+			if f == cfg.Ways && opt.Mechanism == cache.MechanismRW {
+				// The reliable way guarantees at least one usable way;
+				// this column is never reached.
+				continue
+			}
+			if opt.OnlyWholeSetColumn && f < cfg.Ways {
+				continue
+			}
+			weights := make([]float64, len(sys.p.Blocks))
+			constant := 0.0
+			any := false
+			var deg []chmc.Class
+			switch {
+			case f < cfg.Ways:
+				deg = a.ClassifySet(set, cfg.Ways-f)
+			case opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB:
+				// Precise SRB: the buffer is a private 1-way cache.
+				deg = a.ClassifySRBForSet(set)
+			}
+			for _, r := range a.Refs() {
+				if r.Set != set {
+					continue
+				}
+				var pe, pc int64
+				if deg != nil {
+					pe, pc = refExtra(base[r.Global], deg[r.Global])
+				} else {
+					pe, pc = wholeSetExtra(r, base[r.Global], opt.Mechanism, opt.SRBHit)
+				}
+				if opt.ConservativeFM && pc < 0 {
+					pc = 0 // ablation: drop the first-miss credits
+				}
+				if pe != 0 {
+					weights[r.BB] += float64(pe)
+					any = true
+				}
+				constant += float64(pc)
+			}
+			if !any && constant <= 0 {
+				continue // no reference can suffer: bound is 0
+			}
+			res, err := sys.MaximizeBlockWeights(weights, constant)
+			if err != nil {
+				return nil, err
+			}
+			if v := int64(math.Round(res.Objective)); v > 0 {
+				fmm[set][f] = v
+			}
+		}
+	}
+	return fmm, nil
+}
+
+// refExtra returns the (per-execution, per-run) extra miss counts of a
+// reference whose classification degrades from base to deg, relative to
+// the charges already included in the fault-free WCET: always-miss and
+// not-classified are charged per execution there, first-miss once per run
+// as a path-independent constant. Degrading a first-miss to always-miss
+// therefore credits the constant back (perRun -1), keeping the sum
+// "fault-free WCET + penalty" a sound and tight upper bound.
+func refExtra(base, deg chmc.Class) (perExec, perRun int64) {
+	if base.CountsAsMiss() {
+		return 0, 0 // already charged a miss on every execution
+	}
+	switch {
+	case deg.CountsAsMiss():
+		if base == chmc.FirstMiss {
+			return 1, -1
+		}
+		return 1, 0
+	case deg == chmc.FirstMiss && base == chmc.AlwaysHit:
+		return 0, 1
+	default:
+		return 0, 0
+	}
+}
+
+// wholeSetExtra returns the (per-execution, per-run) extra misses of a
+// reference when its whole set is faulty (f = W).
+func wholeSetExtra(r absint.Ref, base chmc.Class, mech cache.Mechanism, srbHit []bool) (perExec, perRun int64) {
+	if mech == cache.MechanismSRB {
+		if srbHit != nil && srbHit[r.Global] {
+			// Guaranteed SRB hit: "can be safely removed" (III.B.2).
+			return 0, 0
+		}
+		// One SRB (re)load per execution at reference granularity (the
+		// SRB preserves intra-block spatial locality).
+		switch {
+		case base.CountsAsMiss():
+			return 0, 0
+		case base == chmc.FirstMiss:
+			return 1, -1
+		default:
+			return 1, 0
+		}
+	}
+	// No protection and no usable ways: every one of the reference's k
+	// instruction fetches misses on every execution.
+	k := int64(r.NumInstr)
+	switch {
+	case base.CountsAsMiss():
+		return k - 1, 0
+	case base == chmc.FirstMiss:
+		return k, -1
+	default:
+		return k, 0
+	}
+}

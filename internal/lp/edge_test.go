@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRedundantRows(t *testing.T) {
+	// Three copies of the same equality: phase 1 must deactivate the
+	// redundant artificials rather than declare infeasibility.
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 4},
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 4},
+		{Coefs: []Coef{{0, 2}, {1, 2}}, Op: EQ, RHS: 8},
+	}
+	sol := solveLP(t, 2, cons, []float64{1, 0})
+	if sol.Status != Optimal || math.Abs(sol.Obj-4) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 4", sol.Status, sol.Obj)
+	}
+}
+
+func TestEqualityOnlySystem(t *testing.T) {
+	// Pure equality system with a unique solution: x=2, y=3.
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 5},
+		{Coefs: []Coef{{0, 1}, {1, -1}}, Op: EQ, RHS: -1},
+	}
+	sol := solveLP(t, 2, cons, []float64{3, -1})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-3) > 1e-6 {
+		t.Errorf("x = %v, want (2,3)", sol.X)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	cons := []Constraint{{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 5}}
+	sol := solveLP(t, 1, cons, []float64{0})
+	if sol.Status != Optimal || sol.Obj != 0 {
+		t.Fatalf("zero objective: %v obj=%v", sol.Status, sol.Obj)
+	}
+}
+
+func TestEmptyConstraintSet(t *testing.T) {
+	s, err := NewSimplex(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Maximize([]float64{-1, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-positive objective over x >= 0: optimum at the origin.
+	if sol.Status != Optimal || sol.Obj != 0 {
+		t.Fatalf("got %v obj=%v, want optimal 0", sol.Status, sol.Obj)
+	}
+	sol2, err := s.Maximize([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Unbounded {
+		t.Fatalf("unconstrained positive objective: %v, want unbounded", sol2.Status)
+	}
+}
+
+// TestNetworkFlowIntegrality checks that random network-flow systems
+// (the IPET shape: flow conservation + capacity bounds) solve to
+// integral vertices without branch & bound — the structural property
+// the warm-start design relies on.
+func TestNetworkFlowIntegrality(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random layered DAG: source -> L1 -> L2 -> sink, unit source.
+		l1 := 2 + rng.Intn(3)
+		l2 := 2 + rng.Intn(3)
+		// Variables: edges source->L1 (l1), L1->L2 (l1*l2), L2->sink (l2).
+		n := l1 + l1*l2 + l2
+		eS := func(i int) int { return i }
+		eM := func(i, j int) int { return l1 + i*l2 + j }
+		eT := func(j int) int { return l1 + l1*l2 + j }
+		var cons []Constraint
+		// Source emits exactly 1.
+		cf := make([]Coef, l1)
+		for i := range cf {
+			cf[i] = Coef{eS(i), 1}
+		}
+		cons = append(cons, Constraint{Coefs: cf, Op: EQ, RHS: 1})
+		// L1 conservation.
+		for i := 0; i < l1; i++ {
+			row := []Coef{{eS(i), 1}}
+			for j := 0; j < l2; j++ {
+				row = append(row, Coef{eM(i, j), -1})
+			}
+			cons = append(cons, Constraint{Coefs: row, Op: EQ, RHS: 0})
+		}
+		// L2 conservation.
+		for j := 0; j < l2; j++ {
+			row := []Coef{{eT(j), -1}}
+			for i := 0; i < l1; i++ {
+				row = append(row, Coef{eM(i, j), 1})
+			}
+			cons = append(cons, Constraint{Coefs: row, Op: EQ, RHS: 0})
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = float64(rng.Intn(20))
+		}
+		s, err := NewSimplex(n, cons)
+		if err != nil {
+			return false
+		}
+		sol, err := s.Maximize(obj)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		return IsIntegral(sol.X)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarmStartStress re-solves many random objectives on one system
+// warm and compares each against a cold solve.
+func TestWarmStartStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}, {2, 1}, {3, 1}}, Op: LE, RHS: 10},
+		{Coefs: []Coef{{0, 1}, {1, -1}}, Op: LE, RHS: 2},
+		{Coefs: []Coef{{2, 1}, {3, 2}}, Op: GE, RHS: 1},
+		{Coefs: []Coef{{0, 1}, {2, 1}}, Op: EQ, RHS: 4},
+	}
+	warm, err := NewSimplex(4, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		obj := make([]float64, 4)
+		for j := range obj {
+			obj[j] = float64(rng.Intn(21) - 10)
+		}
+		w, err := warm.Maximize(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewSimplex(4, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cold.Maximize(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Status != c.Status {
+			t.Fatalf("objective %d: warm %v cold %v", k, w.Status, c.Status)
+		}
+		if w.Status == Optimal && math.Abs(w.Obj-c.Obj) > 1e-6 {
+			t.Fatalf("objective %d: warm %v cold %v", k, w.Obj, c.Obj)
+		}
+	}
+}
+
+func TestLargeCoefficients(t *testing.T) {
+	// IPET objectives mix unit flow constraints with 1e5-scale costs;
+	// check no precision collapse.
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 1000},
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: LE, RHS: 1500},
+	}
+	sol := solveLP(t, 2, cons, []float64{100000, 99999})
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	want := 1000*100000.0 + 500*99999.0
+	if math.Abs(sol.Obj-want) > 1e-3 {
+		t.Errorf("obj = %v, want %v", sol.Obj, want)
+	}
+}

@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// IntTol is the tolerance within which a relaxation value is accepted as
+// integral.
+const IntTol = 1e-6
+
+// maxNodes bounds the branch & bound search; IPET relaxations are almost
+// always integral, so hitting the cap indicates a malformed system.
+const maxNodes = 50000
+
+// Problem is an integer linear program: maximize Obj subject to Cons,
+// all variables non-negative integers.
+type Problem struct {
+	NumVars int
+	Obj     []float64
+	Cons    []Constraint
+}
+
+// SolveILP solves the problem by LP relaxation plus depth-first branch &
+// bound. It returns the optimal integer solution, a Solution with status
+// Infeasible/Unbounded, or an error if the node budget is exhausted.
+func SolveILP(p Problem) (*Solution, error) {
+	if len(p.Obj) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d entries, want %d", len(p.Obj), p.NumVars)
+	}
+	best := &Solution{Status: Infeasible, Obj: math.Inf(-1)}
+	nodes := 0
+
+	var rec func(extra []Constraint) error
+	rec = func(extra []Constraint) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("lp: branch & bound node budget (%d) exhausted", maxNodes)
+		}
+		cons := p.Cons
+		if len(extra) > 0 {
+			cons = make([]Constraint, 0, len(p.Cons)+len(extra))
+			cons = append(cons, p.Cons...)
+			cons = append(cons, extra...)
+		}
+		sx, err := NewSimplex(p.NumVars, cons)
+		if err != nil {
+			return err
+		}
+		sol, err := sx.Maximize(p.Obj)
+		if err != nil {
+			return err
+		}
+		switch sol.Status {
+		case Infeasible:
+			return nil
+		case Unbounded:
+			// Unbounded relaxation at the root means the ILP is
+			// unbounded as well (feasible integer points exist along
+			// the ray for our all-integer-coefficient systems).
+			if len(extra) == 0 {
+				best = &Solution{Status: Unbounded}
+				return errStop
+			}
+			return nil
+		}
+		if sol.Obj <= best.Obj+IntTol {
+			return nil // pruned
+		}
+		frac := fractionalVar(sol.X)
+		if frac < 0 {
+			x := roundVector(sol.X)
+			obj := 0.0
+			for j, c := range p.Obj {
+				obj += c * x[j]
+			}
+			if obj > best.Obj {
+				best = &Solution{Status: Optimal, X: x, Obj: obj}
+			}
+			return nil
+		}
+		v := sol.X[frac]
+		up := Constraint{Coefs: []Coef{{frac, 1}}, Op: GE, RHS: math.Ceil(v)}
+		down := Constraint{Coefs: []Coef{{frac, 1}}, Op: LE, RHS: math.Floor(v)}
+		// Explore the branch closest to the relaxation value first.
+		first, second := up, down
+		if v-math.Floor(v) < 0.5 {
+			first, second = down, up
+		}
+		if err := rec(append(extra[:len(extra):len(extra)], first)); err != nil {
+			return err
+		}
+		return rec(append(extra[:len(extra):len(extra)], second))
+	}
+
+	if err := rec(nil); err != nil && err != errStop {
+		return nil, err
+	}
+	return best, nil
+}
+
+var errStop = fmt.Errorf("lp: stop")
+
+// fractionalVar returns the index of a variable whose value is farthest
+// from integral, or -1 if the vector is integral within IntTol.
+func fractionalVar(x []float64) int {
+	best := -1
+	bestDist := IntTol
+	for j, v := range x {
+		d := math.Abs(v - math.Round(v))
+		if d > bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+func roundVector(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = math.Round(v)
+	}
+	return out
+}
+
+// IsIntegral reports whether every entry of x is integral within IntTol.
+func IsIntegral(x []float64) bool { return fractionalVar(x) < 0 }

@@ -1,0 +1,405 @@
+// Package lp implements a small linear-programming and integer
+// linear-programming solver: a dense two-phase primal simplex with warm
+// restarts of phase 2, plus depth-first branch & bound for integrality.
+//
+// It replaces CPLEX 12.5 in the paper's toolchain. The ILP systems solved
+// here (IPET and the Fault Miss Map objectives of Sections II.B and II.C)
+// are network-flow-like with loop-bound side constraints; their LP
+// relaxations are almost always integral, so branch & bound is rarely
+// exercised. All variables are implicitly non-negative.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int8
+
+const (
+	// LE is "less than or equal".
+	LE Op = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// String returns the operator's symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Coef is one sparse coefficient of a constraint row.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+// Constraint is a sparse linear constraint: sum(Coefs) Op RHS.
+type Constraint struct {
+	Coefs []Coef
+	Op    Op
+	RHS   float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of an LP or ILP solve.
+type Solution struct {
+	Status Status
+	// X holds the values of the structural variables (length NumVars).
+	X []float64
+	// Obj is the objective value at X.
+	Obj float64
+}
+
+const (
+	tol      = 1e-7
+	pivotTol = 1e-9
+)
+
+// Simplex is a dense simplex tableau over a fixed constraint set. After
+// construction (which runs phase 1), Maximize may be called repeatedly
+// with different objectives; each call warm-starts from the current basis,
+// which makes sweeping many objectives over one constraint set cheap
+// (the FMM computes S*W objectives over a single IPET system).
+type Simplex struct {
+	n        int // structural variables
+	ncols    int // structural + slack + artificial
+	artStart int // first artificial column
+	rows     [][]float64
+	rhs      []float64
+	basis    []int
+	active   []bool
+	barred   []bool // artificial columns barred after phase 1
+	feasible bool
+}
+
+// NewSimplex builds the tableau for the given constraints over n
+// structural variables and runs phase 1. It returns an error only on
+// malformed input; infeasibility is reported through Feasible.
+func NewSimplex(n int, cons []Constraint) (*Simplex, error) {
+	m := len(cons)
+	nslack := 0
+	nart := 0
+	for _, c := range cons {
+		for _, cf := range c.Coefs {
+			if cf.Var < 0 || cf.Var >= n {
+				return nil, fmt.Errorf("lp: variable %d out of range [0,%d)", cf.Var, n)
+			}
+		}
+		// After sign normalization, LE rows carry a slack; GE rows a
+		// surplus and an artificial; EQ rows an artificial.
+		op := c.Op
+		if c.RHS < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			nslack++
+		case GE:
+			nslack++
+			nart++
+		case EQ:
+			nart++
+		}
+	}
+
+	s := &Simplex{
+		n:        n,
+		ncols:    n + nslack + nart,
+		artStart: n + nslack,
+		rows:     make([][]float64, m),
+		rhs:      make([]float64, m),
+		basis:    make([]int, m),
+		active:   make([]bool, m),
+		barred:   make([]bool, n+nslack+nart),
+	}
+
+	slackCol := n
+	artCol := s.artStart
+	for i, c := range cons {
+		row := make([]float64, s.ncols)
+		for _, cf := range c.Coefs {
+			row[cf.Var] += cf.Val
+		}
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			s.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			s.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			s.basis[i] = artCol
+			artCol++
+		}
+		s.rows[i] = row
+		s.rhs[i] = rhs
+		s.active[i] = true
+	}
+
+	s.phase1()
+	return s, nil
+}
+
+// Feasible reports whether the constraint set admits a solution.
+func (s *Simplex) Feasible() bool { return s.feasible }
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// phase1 minimizes the sum of artificial variables, then drives
+// zero-level artificials out of the basis and bars artificial columns.
+func (s *Simplex) phase1() {
+	if s.artStart == s.ncols {
+		s.feasible = true // all rows had slacks: initial basis is feasible
+		return
+	}
+	obj := make([]float64, s.ncols)
+	for j := s.artStart; j < s.ncols; j++ {
+		obj[j] = -1 // maximize -(sum of artificials)
+	}
+	s.reduce(obj)
+	s.iterate(obj, nil)
+
+	// Objective value: sum of basic artificial levels.
+	sum := 0.0
+	for i := range s.rows {
+		if s.active[i] && s.basis[i] >= s.artStart {
+			sum += s.rhs[i]
+		}
+	}
+	if sum > 1e-6 {
+		s.feasible = false
+		return
+	}
+	// Pivot remaining zero-level artificials out, or deactivate their
+	// (redundant) rows.
+	for i := range s.rows {
+		if !s.active[i] || s.basis[i] < s.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < s.artStart; j++ {
+			if math.Abs(s.rows[i][j]) > tol {
+				s.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			s.active[i] = false
+		}
+	}
+	for j := s.artStart; j < s.ncols; j++ {
+		s.barred[j] = true
+	}
+	s.feasible = true
+}
+
+// reduce zeroes the objective row's entries at basic columns.
+func (s *Simplex) reduce(obj []float64) {
+	for i := range s.rows {
+		if !s.active[i] {
+			continue
+		}
+		b := s.basis[i]
+		if c := obj[b]; c != 0 {
+			row := s.rows[i]
+			for j := range obj {
+				obj[j] -= c * row[j]
+			}
+			// obj rhs handled implicitly; objective value recomputed
+			// from the basis after iterate.
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimality or unboundedness.
+// It returns false if the problem is unbounded in the given objective.
+// extra, when non-nil, bars additional columns from entering. The
+// objective gain of each pivot is reduced-cost * ratio, which is tracked
+// to detect degenerate stalling and switch to Bland's anti-cycling rule.
+func (s *Simplex) iterate(obj []float64, extra []bool) bool {
+	maxIter := 200*(len(s.rows)+s.ncols) + 20000
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		bland := stall > 2*(len(s.rows)+10)
+		j := s.chooseEntering(obj, extra, bland)
+		if j < 0 {
+			return true // optimal
+		}
+		i := s.chooseLeaving(j)
+		if i < 0 {
+			return false // unbounded
+		}
+		c := obj[j] // reduced cost of the entering variable
+		s.pivot(i, j)
+		// Update the objective row for the pivot.
+		row := s.rows[i]
+		for k := range obj {
+			obj[k] -= c * row[k]
+		}
+		obj[j] = 0
+		if gain := c * s.rhs[i]; gain > 1e-10 {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	// Iteration limit: treat as optimal-so-far; callers see a feasible
+	// point. This should not happen on IPET systems.
+	return true
+}
+
+func (s *Simplex) chooseEntering(obj []float64, extra []bool, bland bool) int {
+	best := -1
+	bestVal := tol
+	for j := 0; j < s.ncols; j++ {
+		if s.barred[j] || (extra != nil && extra[j]) {
+			continue
+		}
+		if obj[j] > bestVal {
+			if bland {
+				return j
+			}
+			bestVal = obj[j]
+			best = j
+		}
+	}
+	return best
+}
+
+func (s *Simplex) chooseLeaving(j int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := range s.rows {
+		if !s.active[i] {
+			continue
+		}
+		a := s.rows[i][j]
+		if a <= pivotTol {
+			continue
+		}
+		ratio := s.rhs[i] / a
+		if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (best < 0 || s.basis[i] < s.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *Simplex) pivot(pi, pj int) {
+	prow := s.rows[pi]
+	p := prow[pj]
+	inv := 1 / p
+	for j := range prow {
+		prow[j] *= inv
+	}
+	s.rhs[pi] *= inv
+	prow[pj] = 1 // avoid drift
+	for i := range s.rows {
+		if i == pi || !s.active[i] {
+			continue
+		}
+		f := s.rows[i][pj]
+		if f == 0 {
+			continue
+		}
+		row := s.rows[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[pj] = 0
+		s.rhs[i] -= f * s.rhs[pi]
+		if s.rhs[i] < 0 && s.rhs[i] > -1e-9 {
+			s.rhs[i] = 0
+		}
+	}
+	s.basis[pi] = pj
+}
+
+// Maximize runs phase 2 for the given objective (length = number of
+// structural variables), warm-starting from the current basis. The
+// returned solution aliases freshly allocated slices.
+func (s *Simplex) Maximize(c []float64) (*Solution, error) {
+	if len(c) != s.n {
+		return nil, fmt.Errorf("lp: objective has %d entries, want %d", len(c), s.n)
+	}
+	if !s.feasible {
+		return &Solution{Status: Infeasible}, nil
+	}
+	obj := make([]float64, s.ncols)
+	copy(obj, c)
+	s.reduce(obj)
+	if !s.iterate(obj, nil) {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, s.n)
+	for i := range s.rows {
+		if s.active[i] && s.basis[i] < s.n {
+			x[s.basis[i]] = s.rhs[i]
+		}
+	}
+	val := 0.0
+	for j, cj := range c {
+		val += cj * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: val}, nil
+}

@@ -1,0 +1,317 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveLP(t *testing.T, n int, cons []Constraint, obj []float64) *Solution {
+	t.Helper()
+	s, err := NewSimplex(n, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Maximize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestSimplexBasic(t *testing.T) {
+	// max 3x + 2y  s.t.  x + y <= 4, x + 3y <= 6  ->  x=4, y=0, obj=12.
+	sol := solveLP(t, 2, []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: LE, RHS: 4},
+		{Coefs: []Coef{{0, 1}, {1, 3}}, Op: LE, RHS: 6},
+	}, []float64{3, 2})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-12) > 1e-6 {
+		t.Errorf("obj = %v, want 12", sol.Obj)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// max x + y  s.t.  x + y = 5, x <= 3  ->  obj = 5.
+	sol := solveLP(t, 2, []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 5},
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 3},
+	}, []float64{1, 1})
+	if sol.Status != Optimal || math.Abs(sol.Obj-5) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 5", sol.Status, sol.Obj)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-5) > 1e-6 {
+		t.Errorf("x+y = %v, want 5", sol.X[0]+sol.X[1])
+	}
+}
+
+func TestSimplexGE(t *testing.T) {
+	// max -x  s.t.  x >= 3  ->  x = 3, obj = -3.
+	sol := solveLP(t, 1, []Constraint{
+		{Coefs: []Coef{{0, 1}}, Op: GE, RHS: 3},
+	}, []float64{-1})
+	if sol.Status != Optimal || math.Abs(sol.Obj+3) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal -3", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	sol := solveLP(t, 1, []Constraint{
+		{Coefs: []Coef{{0, 1}}, Op: GE, RHS: 5},
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 2},
+	}, []float64{1})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	sol := solveLP(t, 2, []Constraint{
+		{Coefs: []Coef{{1, 1}}, Op: LE, RHS: 10},
+	}, []float64{1, 0})
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// -x <= -2  is  x >= 2; max -x -> x=2.
+	sol := solveLP(t, 1, []Constraint{
+		{Coefs: []Coef{{0, -1}}, Op: LE, RHS: -2},
+	}, []float64{-1})
+	if sol.Status != Optimal || math.Abs(sol.Obj+2) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal -2", sol.Status, sol.Obj)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Beale's classic cycling example; the Bland fallback must solve it.
+	// Optimum 0.05 at x = (0.04, 0, 1, 0).
+	sol := solveLP(t, 4, []Constraint{
+		{Coefs: []Coef{{0, 0.25}, {1, -60}, {2, -1.0 / 25}, {3, 9}}, Op: LE, RHS: 0},
+		{Coefs: []Coef{{0, 0.5}, {1, -90}, {2, -1.0 / 50}, {3, 3}}, Op: LE, RHS: 0},
+		{Coefs: []Coef{{2, 1}}, Op: LE, RHS: 1},
+	}, []float64{0.75, -150, 1.0 / 50, -6})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Obj-0.05) > 1e-6 {
+		t.Errorf("obj = %v, want 0.05", sol.Obj)
+	}
+}
+
+func TestWarmRestartManyObjectives(t *testing.T) {
+	// One constraint set, several objectives; results must match cold
+	// solves.
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 2}, {2, 1}}, Op: LE, RHS: 10},
+		{Coefs: []Coef{{0, 1}, {1, -1}}, Op: GE, RHS: 1},
+		{Coefs: []Coef{{2, 1}, {1, 1}}, Op: EQ, RHS: 4},
+	}
+	objs := [][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+		{3, -1, 2},
+		{-1, -1, -1},
+		{5, 5, 5},
+	}
+	warm, err := NewSimplex(3, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, obj := range objs {
+		w, err := warm.Maximize(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewSimplex(3, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cold.Maximize(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Status != c.Status {
+			t.Fatalf("objective %d: warm %v vs cold %v", k, w.Status, c.Status)
+		}
+		if w.Status == Optimal && math.Abs(w.Obj-c.Obj) > 1e-6 {
+			t.Errorf("objective %d: warm obj %v vs cold %v", k, w.Obj, c.Obj)
+		}
+	}
+}
+
+func TestILPBranching(t *testing.T) {
+	// max x + y  s.t.  2x + 2y <= 5  -> LP opt 2.5, ILP opt 2.
+	sol, err := SolveILP(Problem{
+		NumVars: 2,
+		Obj:     []float64{1, 1},
+		Cons: []Constraint{
+			{Coefs: []Coef{{0, 2}, {1, 2}}, Op: LE, RHS: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Obj-2) > 1e-9 {
+		t.Fatalf("got %v obj=%v, want optimal 2", sol.Status, sol.Obj)
+	}
+}
+
+func TestILPKnapsack(t *testing.T) {
+	// Knapsack: values 60,100,120; weights 10,20,30; cap 50; x_i <= 1.
+	// Optimal integer value: 220 (items 2 and 3).
+	cons := []Constraint{
+		{Coefs: []Coef{{0, 10}, {1, 20}, {2, 30}}, Op: LE, RHS: 50},
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 1},
+		{Coefs: []Coef{{1, 1}}, Op: LE, RHS: 1},
+		{Coefs: []Coef{{2, 1}}, Op: LE, RHS: 1},
+	}
+	sol, err := SolveILP(Problem{NumVars: 3, Obj: []float64{60, 100, 120}, Cons: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Obj-220) > 1e-9 {
+		t.Fatalf("got %v obj=%v, want optimal 220", sol.Status, sol.Obj)
+	}
+}
+
+func TestILPInfeasible(t *testing.T) {
+	sol, err := SolveILP(Problem{
+		NumVars: 1,
+		Obj:     []float64{1},
+		Cons: []Constraint{
+			{Coefs: []Coef{{0, 2}}, Op: EQ, RHS: 3},
+			{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible (2x=3 has no integer solution)", sol.Status)
+	}
+}
+
+// TestILPAgainstBruteForce cross-checks the solver against exhaustive
+// enumeration on random small integer programs with bounded variables.
+func TestILPAgainstBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2) // 2..3 vars
+		ub := 4              // x_j in [0,4]
+		var cons []Constraint
+		for j := 0; j < n; j++ {
+			cons = append(cons, Constraint{Coefs: []Coef{{j, 1}}, Op: LE, RHS: float64(ub)})
+		}
+		nc := 1 + rng.Intn(3)
+		for k := 0; k < nc; k++ {
+			var cf []Coef
+			for j := 0; j < n; j++ {
+				cf = append(cf, Coef{j, float64(rng.Intn(7) - 3)})
+			}
+			cons = append(cons, Constraint{Coefs: cf, Op: LE, RHS: float64(rng.Intn(10))})
+		}
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = float64(rng.Intn(11) - 5)
+		}
+
+		sol, err := SolveILP(Problem{NumVars: n, Obj: obj, Cons: cons})
+		if err != nil {
+			t.Logf("seed %d: solver error %v", seed, err)
+			return false
+		}
+
+		// Brute force over the grid.
+		bestObj := math.Inf(-1)
+		feasible := false
+		x := make([]float64, n)
+		var walk func(j int)
+		walk = func(j int) {
+			if j == n {
+				for _, c := range cons {
+					lhs := 0.0
+					for _, cf := range c.Coefs {
+						lhs += cf.Val * x[cf.Var]
+					}
+					switch c.Op {
+					case LE:
+						if lhs > c.RHS+1e-9 {
+							return
+						}
+					case GE:
+						if lhs < c.RHS-1e-9 {
+							return
+						}
+					case EQ:
+						if math.Abs(lhs-c.RHS) > 1e-9 {
+							return
+						}
+					}
+				}
+				feasible = true
+				v := 0.0
+				for j2 := range obj {
+					v += obj[j2] * x[j2]
+				}
+				if v > bestObj {
+					bestObj = v
+				}
+				return
+			}
+			for v := 0; v <= ub; v++ {
+				x[j] = float64(v)
+				walk(j + 1)
+			}
+		}
+		walk(0)
+
+		if !feasible {
+			return sol.Status == Infeasible
+		}
+		if sol.Status != Optimal {
+			t.Logf("seed %d: solver says %v, brute force found obj %v", seed, sol.Status, bestObj)
+			return false
+		}
+		if math.Abs(sol.Obj-bestObj) > 1e-6 {
+			t.Logf("seed %d: solver obj %v, brute force %v", seed, sol.Obj, bestObj)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := NewSimplex(1, []Constraint{{Coefs: []Coef{{3, 1}}, Op: LE, RHS: 1}}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := SolveILP(Problem{NumVars: 2, Obj: []float64{1}}); err == nil {
+		t.Error("mismatched objective accepted")
+	}
+}
+
+func TestIsIntegral(t *testing.T) {
+	if !IsIntegral([]float64{1, 2, 3.0000000001}) {
+		t.Error("near-integral vector rejected")
+	}
+	if IsIntegral([]float64{1.5}) {
+		t.Error("fractional vector accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op.String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status.String mismatch")
+	}
+}

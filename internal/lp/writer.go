@@ -1,0 +1,89 @@
+package lp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteLP renders a problem in the CPLEX LP text format, the format the
+// paper's authors would have fed to CPLEX 12.5. It exists for debugging
+// and for cross-checking individual ILP systems against external
+// solvers; the output is deterministic.
+func WriteLP(w io.Writer, p Problem, varName func(int) string) error {
+	if varName == nil {
+		varName = func(j int) string { return fmt.Sprintf("x%d", j) }
+	}
+	if len(p.Obj) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d entries, want %d", len(p.Obj), p.NumVars)
+	}
+
+	fmt.Fprintln(w, "Maximize")
+	fmt.Fprint(w, " obj:")
+	wrote := false
+	for j, c := range p.Obj {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, " %s", term(c, varName(j), !wrote))
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprint(w, " 0 "+varName(0))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Subject To")
+	for i, c := range p.Cons {
+		// Merge duplicate variables deterministically.
+		coef := map[int]float64{}
+		for _, cf := range c.Coefs {
+			coef[cf.Var] += cf.Val
+		}
+		vars := make([]int, 0, len(coef))
+		for v := range coef {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		fmt.Fprintf(w, " c%d:", i)
+		first := true
+		for _, v := range vars {
+			if coef[v] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, " %s", term(coef[v], varName(v), first))
+			first = false
+		}
+		if first {
+			fmt.Fprintf(w, " 0 %s", varName(0))
+		}
+		fmt.Fprintf(w, " %s %g\n", c.Op, c.RHS)
+	}
+
+	fmt.Fprintln(w, "General")
+	for j := 0; j < p.NumVars; j++ {
+		fmt.Fprintf(w, " %s\n", varName(j))
+	}
+	fmt.Fprintln(w, "End")
+	return nil
+}
+
+// term formats one linear term with explicit sign handling.
+func term(c float64, name string, first bool) string {
+	switch {
+	case first && c == 1:
+		return name
+	case first && c == -1:
+		return "- " + name
+	case first:
+		return fmt.Sprintf("%g %s", c, name)
+	case c == 1:
+		return "+ " + name
+	case c == -1:
+		return "- " + name
+	case c < 0:
+		return fmt.Sprintf("- %g %s", -c, name)
+	default:
+		return fmt.Sprintf("+ %g %s", c, name)
+	}
+}

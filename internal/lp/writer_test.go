@@ -1,0 +1,72 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	p := Problem{
+		NumVars: 3,
+		Obj:     []float64{3, 0, -2},
+		Cons: []Constraint{
+			{Coefs: []Coef{{0, 1}, {1, 2}}, Op: LE, RHS: 10},
+			{Coefs: []Coef{{2, -1}, {0, 1}}, Op: EQ, RHS: 0},
+			{Coefs: []Coef{{1, 1}, {1, 1}}, Op: GE, RHS: 4}, // merged duplicates
+		},
+	}
+	var sb strings.Builder
+	if err := WriteLP(&sb, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: 3 x0 - 2 x2",
+		"Subject To",
+		"c0: x0 + 2 x1 <= 10",
+		"c1: x0 - x2 = 0",
+		"c2: 2 x1 >= 4",
+		"General",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPNamedVars(t *testing.T) {
+	p := Problem{
+		NumVars: 2,
+		Obj:     []float64{1, 1},
+		Cons:    []Constraint{{Coefs: []Coef{{0, 1}, {1, 1}}, Op: LE, RHS: 5}},
+	}
+	var sb strings.Builder
+	name := func(j int) string { return []string{"edge_a", "edge_b"}[j] }
+	if err := WriteLP(&sb, p, name); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "edge_a + edge_b <= 5") {
+		t.Errorf("named variables not used:\n%s", sb.String())
+	}
+}
+
+func TestWriteLPValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLP(&sb, Problem{NumVars: 2, Obj: []float64{1}}, nil); err == nil {
+		t.Error("mismatched objective accepted")
+	}
+}
+
+func TestWriteLPZeroObjective(t *testing.T) {
+	var sb strings.Builder
+	p := Problem{NumVars: 1, Obj: []float64{0},
+		Cons: []Constraint{{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 1}}}
+	if err := WriteLP(&sb, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "obj: 0 x0") {
+		t.Errorf("zero objective not rendered:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,243 @@
+package malardalen
+
+import "repro/internal/program"
+
+// This file holds the streaming benchmarks (hot code larger than the
+// cache, so only spatial locality is captured — the paper's category 1,
+// where both mechanisms recover the fault-free WCET) and the mixed
+// benchmarks combining resident loops with streaming phases (category 4).
+
+// nsichneu mirrors Mälardalen nsichneu: a generated Petri-net simulation
+// made of hundreds of independent if-blocks executed in a short loop.
+// The body far exceeds the 1KB cache, so nothing is temporally reusable.
+func nsichneu() *program.Program {
+	b := program.New("nsichneu")
+	b.Func("main").
+		Ops(6).
+		Loop(4, func(net *program.Body) {
+			for i := 0; i < 36; i++ {
+				net.If(func(fire *program.Body) {
+					fire.Ops(12) // update marking
+				}, func(skip *program.Body) {
+					skip.Ops(10)
+				})
+			}
+		}).
+		Ops(3)
+	return b.MustBuild()
+}
+
+// statemate mirrors Mälardalen statemate: car-window-lift controller
+// code generated from a STATEMATE statechart — a loop over large switch
+// dispatches whose cases exceed the cache.
+func statemate() *program.Program {
+	b := program.New("statemate")
+	cases := make([]func(*program.Body), 10)
+	for i := range cases {
+		n := 48 + 6*i // state handlers of growing size
+		cases[i] = func(c *program.Body) {
+			c.Ops(n)
+			c.If(func(t *program.Body) { t.Ops(6) }, func(e *program.Body) { e.Ops(6) })
+		}
+	}
+	b.Func("main").
+		Ops(8).
+		Loop(12, func(step *program.Body) {
+			step.Ops(4) // read inputs
+			step.Switch(cases...)
+			step.Ops(3) // write outputs
+		})
+	return b.MustBuild()
+}
+
+// cover mirrors Mälardalen cover: loops over switches with many cases,
+// each case a distinct code region (built to exercise path coverage).
+func cover() *program.Program {
+	b := program.New("cover")
+	mkCases := func(n, size int) []func(*program.Body) {
+		cs := make([]func(*program.Body), n)
+		for i := range cs {
+			cs[i] = func(c *program.Body) { c.Ops(size) }
+		}
+		return cs
+	}
+	b.Func("main").
+		Ops(5).
+		Loop(20, func(l *program.Body) {
+			l.Switch(mkCases(20, 20)...)
+		}).
+		Loop(20, func(l *program.Body) {
+			l.Switch(mkCases(20, 22)...)
+		}).
+		Ops(3)
+	return b.MustBuild()
+}
+
+// fdct mirrors Mälardalen fdct: forward discrete cosine transform —
+// two loops (rows then columns) with very large straight-line bodies.
+func fdct() *program.Program {
+	b := program.New("fdct")
+	b.Func("main").
+		Ops(6).
+		Loop(8, func(rows *program.Body) {
+			rows.Ops(360) // one row's butterfly arithmetic
+		}).
+		Loop(8, func(cols *program.Body) {
+			cols.Ops(380) // one column's butterfly arithmetic
+		}).
+		Ops(4)
+	return b.MustBuild()
+}
+
+// jfdctint mirrors Mälardalen jfdctint: JPEG integer DCT, structured
+// like fdct with even larger slice bodies.
+func jfdctint() *program.Program {
+	b := program.New("jfdctint")
+	b.Func("main").
+		Ops(8).
+		Loop(8, func(pass1 *program.Body) {
+			pass1.Ops(420)
+		}).
+		Loop(8, func(pass2 *program.Body) {
+			pass2.Ops(400)
+		}).
+		Ops(4)
+	return b.MustBuild()
+}
+
+// ndes mirrors Mälardalen ndes: DES-like block cipher with large
+// S-box/permutation helpers called from the round loop; the total
+// footprint exceeds the cache.
+func ndes() *program.Program {
+	b := program.New("ndes")
+	b.Func("main").
+		Ops(10).
+		Loop(16, func(round *program.Body) {
+			round.Ops(40) // key schedule slice
+			round.Call("des_f")
+			round.Call("permute")
+			round.Ops(30) // swap halves
+		}).
+		Ops(6)
+	b.Func("des_f").
+		Ops(60).
+		Loop(8, func(sbox *program.Body) {
+			sbox.Ops(20) // one S-box lookup + xor
+		}).
+		Ops(16)
+	b.Func("permute").
+		Ops(120) // bit permutation network
+	return b.MustBuild()
+}
+
+// adpcm mirrors Mälardalen adpcm: ADPCM encoder and decoder invoked
+// alternately from the main sample loop, with a shared quantizer and
+// filter helpers; mixes a resident hot loop with wider helper code.
+// Figure 3 of the paper plots this benchmark's exceedance curves.
+func adpcm() *program.Program {
+	b := program.New("adpcm")
+	b.Func("main").
+		Ops(300). // I/O buffers setup (cold -O0 code)
+		Loop(24, func(sample *program.Body) {
+			sample.Ops(4)
+			sample.Call("encode")
+			sample.Call("decode")
+			sample.Ops(3)
+		}).
+		Ops(6)
+	b.Func("encode").
+		Ops(24).
+		Loop(4, func(pred *program.Body) {
+			pred.Ops(14) // predictor taps
+		}).
+		If(func(sat *program.Body) {
+			sat.Ops(20) // saturation
+		}, func(lin *program.Body) {
+			lin.Ops(16)
+		}).
+		Call("quantl").
+		Ops(10)
+	b.Func("decode").
+		Ops(18).
+		If(func(hi *program.Body) {
+			hi.Ops(24)
+		}, func(lo *program.Body) {
+			lo.Ops(14)
+		}).
+		Call("quantl").
+		Ops(8)
+	b.Func("quantl").
+		Ops(12).
+		Loop(6, func(scan *program.Body) {
+			scan.Ops(8) // table scan
+			scan.If(func(found *program.Body) { found.Ops(4) }, nil)
+		}).
+		Ops(8)
+	return b.MustBuild()
+}
+
+// matmult mirrors Mälardalen matmult: 2 matrix initializations followed
+// by the classic triple-nested multiplication loop. The right-hand side
+// of the paper's Figure 4 uses matmult to illustrate how the SRB and RW
+// gains stack.
+func matmult() *program.Program {
+	b := program.New("matmult")
+	b.Func("main").
+		Ops(400). // I/O and seed setup (cold -O0 code)
+		Call("initmat").
+		Call("initmat2").
+		Loop(4, func(i *program.Body) {
+			i.Ops(3)
+			i.Loop(4, func(j *program.Body) {
+				j.Ops(4)
+				j.Loop(4, func(k *program.Body) {
+					k.Ops(6) // load a[i][k], b[k][j], MAC
+				})
+				j.Ops(2) // store c[i][j]
+			})
+		}).
+		Ops(3)
+	b.Func("initmat").
+		Ops(4).
+		Loop(6, func(r *program.Body) {
+			r.Loop(6, func(c *program.Body) { c.Ops(5) })
+		})
+	b.Func("initmat2").
+		Ops(4).
+		Loop(6, func(r *program.Body) {
+			r.Loop(6, func(c *program.Body) { c.Ops(6) })
+		})
+	return b.MustBuild()
+}
+
+// minver mirrors Mälardalen minver: 3x3 matrix inversion with distinct
+// phases (determinant, cofactors, normalization) plus helper calls —
+// a mixed-category program.
+func minver() *program.Program {
+	b := program.New("minver")
+	b.Func("main").
+		Ops(260). // matrix staging (cold -O0 code)
+		Call("mmul").
+		Loop(3, func(col *program.Body) {
+			col.Ops(20)
+			col.Loop(3, func(row *program.Body) {
+				row.Ops(30) // cofactor terms
+				row.If(func(z *program.Body) { z.Ops(8) }, nil)
+			})
+		}).
+		Call("mmul").
+		Loop(3, func(norm *program.Body) {
+			norm.Ops(14)
+			norm.Loop(3, func(el *program.Body) { el.Ops(16) })
+		}).
+		Ops(5)
+	b.Func("mmul").
+		Ops(12).
+		Loop(3, func(i *program.Body) {
+			i.Loop(3, func(j *program.Body) {
+				j.Ops(12)
+				j.Loop(3, func(k *program.Body) { k.Ops(10) })
+			})
+		})
+	return b.MustBuild()
+}

@@ -1,0 +1,205 @@
+package malardalen
+
+import "repro/internal/program"
+
+// This file holds the tight-loop benchmarks: their hot code is small
+// enough to live in one way per cache set, so losing up to W-1 ways
+// costs nothing but losing a whole set costs every fetch of it
+// (the paper's category 2: temporal locality in the MRU position).
+
+// bs mirrors Mälardalen bs: binary search over a 15-entry array.
+// A single small loop with a three-way comparison inside.
+func bs() *program.Program {
+	b := program.New("bs")
+	b.Func("main").
+		Ops(56). // array initialization and bounds setup (cold code)
+		Loop(4, func(l *program.Body) {
+			l.Ops(4) // mid computation, load
+			l.If(func(hit *program.Body) {
+				hit.Ops(3) // record position, break flag
+			}, func(miss *program.Body) {
+				miss.If(func(lo *program.Body) {
+					lo.Ops(2) // up = mid-1
+				}, func(hi *program.Body) {
+					hi.Ops(2) // low = mid+1
+				})
+			})
+		}).
+		Ops(2) // return value selection
+	return b.MustBuild()
+}
+
+// fibcall mirrors Mälardalen fibcall: iterative Fibonacci of 30.
+func fibcall() *program.Program {
+	b := program.New("fibcall")
+	b.Func("main").
+		Ops(240). // argument unpacking and result buffer (cold -O0 code)
+		Loop(20, func(l *program.Body) {
+			l.Ops(4) // temp = a+b; a = b; b = temp
+		}).
+		Ops(10)
+	return b.MustBuild()
+}
+
+// insertsort mirrors Mälardalen insertsort: insertion sort of a
+// 10-element array (triangular nested loop).
+func insertsort() *program.Program {
+	b := program.New("insertsort")
+	b.Func("main").
+		Ops(360). // unrolled array initialization (cold -O0 code)
+		Loop(5, func(outer *program.Body) {
+			outer.Ops(3) // key = a[i]
+			outer.Loop(5, func(inner *program.Body) {
+				inner.Ops(4) // compare + shift
+				inner.If(func(brk *program.Body) {
+					brk.Ops(2) // early exit bookkeeping
+				}, nil)
+			})
+			outer.Ops(2) // a[j+1] = key
+		})
+	return b.MustBuild()
+}
+
+// prime mirrors Mälardalen prime: trial-division primality testing.
+func prime() *program.Program {
+	b := program.New("prime")
+	b.Func("main").
+		Ops(360). // sieve table setup (cold -O0 code)
+		Loop(8, func(outer *program.Body) {
+			outer.Ops(3) // candidate selection
+			outer.If(func(odd *program.Body) {
+				odd.Loop(6, func(div *program.Body) {
+					div.Ops(4) // modulo check
+					div.If(func(comp *program.Body) {
+						comp.Ops(2) // mark composite
+					}, nil)
+				})
+			}, func(even *program.Body) {
+				even.Ops(2)
+			})
+		})
+	return b.MustBuild()
+}
+
+// expint mirrors Mälardalen expint: exponential integral with an inner
+// series loop guarded by a conditional.
+func expint() *program.Program {
+	b := program.New("expint")
+	b.Func("main").
+		Ops(360). // Chebyshev coefficient tables (cold -O0 code)
+		Loop(6, func(outer *program.Body) {
+			outer.Ops(3)
+			outer.If(func(series *program.Body) {
+				series.Loop(5, func(inner *program.Body) {
+					inner.Ops(5) // term update, accumulate
+				})
+			}, func(direct *program.Body) {
+				direct.Ops(6)
+			})
+		}).
+		Ops(3)
+	return b.MustBuild()
+}
+
+// ns mirrors Mälardalen ns: search in a 4-dimensional table
+// (four nested loops around a tiny comparison body).
+func ns() *program.Program {
+	b := program.New("ns")
+	b.Func("main").
+		Ops(400). // 4-D table initialization (cold -O0 code)
+		Loop(3, func(l1 *program.Body) {
+			l1.Loop(3, func(l2 *program.Body) {
+				l2.Loop(3, func(l3 *program.Body) {
+					l3.Loop(4, func(l4 *program.Body) {
+						l4.Ops(4) // table load + compare
+						l4.If(func(found *program.Body) {
+							found.Ops(3) // record indices
+						}, nil)
+					})
+				})
+			})
+		})
+	return b.MustBuild()
+}
+
+// cnt mirrors Mälardalen cnt: count negative/positive cells of a 10x10
+// matrix (two nested loops, a branch per cell).
+func cnt() *program.Program {
+	b := program.New("cnt")
+	b.Func("main").
+		Ops(360). // matrix fill prologue (cold -O0 code)
+		Loop(5, func(row *program.Body) {
+			row.Ops(2)
+			row.Loop(5, func(col *program.Body) {
+				col.Ops(4) // load cell
+				col.If(func(neg *program.Body) {
+					neg.Ops(3) // negative sum/count
+				}, func(pos *program.Body) {
+					pos.Ops(3) // positive sum/count
+				})
+			})
+		}).
+		Ops(4)
+	return b.MustBuild()
+}
+
+// bsort100 mirrors Mälardalen bsort100: bubble sort of 100 integers
+// (nested loops with a compare-and-swap body). Bounds are scaled to 14
+// to keep the analysis workload proportional to the rest of the suite.
+func bsort100() *program.Program {
+	b := program.New("bsort100")
+	b.Func("main").
+		Ops(400). // array shuffle and I/O prologue (cold -O0 code)
+		Loop(5, func(outer *program.Body) {
+			outer.Ops(2)
+			outer.Loop(5, func(inner *program.Body) {
+				inner.Ops(4) // load pair, compare
+				inner.If(func(swap *program.Body) {
+					swap.Ops(4) // swap
+				}, nil)
+			})
+			outer.If(func(done *program.Body) {
+				done.Ops(2) // early-termination flag
+			}, nil)
+		})
+	return b.MustBuild()
+}
+
+// janneComplex mirrors Mälardalen janne_complex: two nested loops whose
+// bodies interact through conditionals.
+func janneComplex() *program.Program {
+	b := program.New("janne_complex")
+	b.Func("main").
+		Ops(300). // initialization (cold -O0 code)
+		Loop(6, func(outer *program.Body) {
+			outer.If(func(a *program.Body) {
+				a.Ops(5)
+			}, func(bb *program.Body) {
+				bb.Ops(7)
+			})
+			outer.Loop(4, func(inner *program.Body) {
+				inner.Ops(5)
+				inner.If(func(c *program.Body) {
+					c.Ops(3)
+				}, nil)
+			})
+		})
+	return b.MustBuild()
+}
+
+// fir mirrors Mälardalen fir: a finite impulse response filter — an
+// outer loop over samples with an inner multiply-accumulate loop over
+// coefficients.
+func fir() *program.Program {
+	b := program.New("fir")
+	b.Func("main").
+		Ops(400). // coefficient table fill (cold -O0 code)
+		Loop(8, func(sample *program.Body) {
+			sample.Ops(4)
+			sample.Loop(6, func(tap *program.Body) {
+				tap.Ops(5) // load coeff, load sample, MAC
+			})
+			sample.Ops(3) // scale + store output
+		})
+	return b.MustBuild()
+}

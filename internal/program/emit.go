@@ -1,0 +1,174 @@
+package program
+
+import "fmt"
+
+// protoBlock is a basic block of a single (not yet inlined) function.
+// Instruction offsets are assigned after emission in creation order, which
+// by construction of the emitter equals layout (address) order.
+type protoBlock struct {
+	idx    int
+	n      int // instruction count
+	offset int // instruction offset within the function
+	data   []DataAccess
+	succs  []int
+	call   string // non-empty: block ends with a call to this function
+	resume int    // proto index of the block following the call
+}
+
+type protoLoop struct {
+	header, bodySucc, exitSucc int
+	latch                      int
+	bound                      int64
+}
+
+type protoFunc struct {
+	name     string
+	blocks   []*protoBlock
+	loops    []*protoLoop
+	entry    int
+	exit     int
+	numInstr int
+	addr     uint32
+}
+
+type emitter struct{ f *protoFunc }
+
+func (e *emitter) newBlock() *protoBlock {
+	pb := &protoBlock{idx: len(e.f.blocks), resume: -1}
+	e.f.blocks = append(e.f.blocks, pb)
+	return pb
+}
+
+func (e *emitter) link(from, to *protoBlock) {
+	from.succs = append(from.succs, to.idx)
+}
+
+// emitFunc lowers a function definition to its proto-CFG. Layout: the
+// emitter creates blocks in address order, so the post-pass simply assigns
+// cumulative offsets.
+func emitFunc(def *funcDef) (*protoFunc, error) {
+	f := &protoFunc{name: def.name}
+	e := &emitter{f: f}
+	entry := e.newBlock()
+	f.entry = entry.idx
+	last, err := e.emit(def.body, entry)
+	if err != nil {
+		return nil, err
+	}
+	last.n++ // function epilogue (return instruction)
+	f.exit = last.idx
+
+	off := 0
+	for _, pb := range f.blocks {
+		pb.offset = off
+		off += pb.n
+	}
+	f.numInstr = off
+	return f, nil
+}
+
+// emit lowers a statement sequence starting in block cur and returns the
+// block control falls through to afterwards. The returned block is always
+// the most recently created block (or cur itself), which keeps creation
+// order equal to address order.
+func (e *emitter) emit(bd *Body, cur *protoBlock) (*protoBlock, error) {
+	for _, it := range bd.items {
+		switch it.kind {
+		case itemOps:
+			cur.n += it.n
+
+		case itemLoad, itemStore:
+			cur.data = append(cur.data, DataAccess{
+				Index: cur.n,
+				Addr:  it.addr,
+				Store: it.kind == itemStore,
+			})
+			cur.n++ // the load/store instruction itself
+
+		case itemCall:
+			cur.n++ // the call instruction (jal)
+			if cur.call != "" {
+				return nil, fmt.Errorf("internal: block already ends with a call")
+			}
+			cur.call = it.callee
+			resume := e.newBlock()
+			cur.resume = resume.idx
+			cur = resume
+
+		case itemLoop:
+			header := e.newBlock()
+			header.n = 2 // condition evaluation + conditional branch
+			e.link(cur, header)
+			bodyEntry := e.newBlock()
+			e.link(header, bodyEntry)
+			bodyExit, err := e.emit(it.body, bodyEntry)
+			if err != nil {
+				return nil, err
+			}
+			bodyExit.n++ // jump back to the header
+			e.link(bodyExit, header)
+			after := e.newBlock()
+			e.link(header, after)
+			e.f.loops = append(e.f.loops, &protoLoop{
+				header:   header.idx,
+				bodySucc: bodyEntry.idx,
+				exitSucc: after.idx,
+				latch:    bodyExit.idx,
+				bound:    it.bound,
+			})
+			cur = after
+
+		case itemIf:
+			cur.n++ // conditional branch
+			cond := cur
+			thenEntry := e.newBlock()
+			e.link(cond, thenEntry)
+			thenExit, err := e.emit(it.then, thenEntry)
+			if err != nil {
+				return nil, err
+			}
+			if it.els != nil {
+				thenExit.n++ // jump over the else branch
+				elseEntry := e.newBlock()
+				e.link(cond, elseEntry)
+				elseExit, err := e.emit(it.els, elseEntry)
+				if err != nil {
+					return nil, err
+				}
+				join := e.newBlock()
+				e.link(thenExit, join)
+				e.link(elseExit, join)
+				cur = join
+			} else {
+				join := e.newBlock()
+				e.link(thenExit, join)
+				e.link(cond, join)
+				cur = join
+			}
+
+		case itemSwitch:
+			cur.n++ // dispatch (indexed jump)
+			cond := cur
+			exits := make([]*protoBlock, 0, len(it.cases))
+			for _, c := range it.cases {
+				caseEntry := e.newBlock()
+				e.link(cond, caseEntry)
+				caseExit, err := e.emit(c, caseEntry)
+				if err != nil {
+					return nil, err
+				}
+				caseExit.n++ // jump to the join point
+				exits = append(exits, caseExit)
+			}
+			join := e.newBlock()
+			for _, x := range exits {
+				e.link(x, join)
+			}
+			cur = join
+
+		default:
+			return nil, fmt.Errorf("internal: unknown item kind %d", it.kind)
+		}
+	}
+	return cur, nil
+}

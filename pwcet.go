@@ -1,0 +1,134 @@
+// Package pwcet is the public API of the reproduction of "Probabilistic
+// WCET estimation in presence of hardware for mitigating the impact of
+// permanent faults" (Hardy, Puaut, Sazeides — DATE 2016).
+//
+// It estimates probabilistic worst-case execution times (pWCET) of
+// programs running on a processor whose set-associative LRU instruction
+// cache suffers permanent SRAM faults, for three architectures:
+//
+//   - no protection: faulty blocks are disabled (baseline of Hardy &
+//     Puaut, RTS 2015);
+//   - RW, the Reliable Way: one fault-resilient way per set;
+//   - SRB, the Shared Reliable Buffer: one fault-resilient block-sized
+//     buffer shared by all sets, used when a whole set is faulty.
+//
+// # Quick start
+//
+//	b := pwcet.NewProgram("example")
+//	b.Func("main").Loop(100, func(l *pwcet.Body) { l.Ops(12) })
+//	p, err := b.Build()
+//	// handle err
+//	res, err := pwcet.Analyze(p, pwcet.Options{Pfail: 1e-4, Mechanism: pwcet.RW})
+//	// handle err
+//	fmt.Println(res.FaultFreeWCET, res.PWCET)
+//
+// The paper's 25-benchmark Mälardalen evaluation is available through
+// Benchmarks and Benchmark; cmd/paperfigs regenerates every figure.
+package pwcet
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/ipet"
+	"repro/internal/malardalen"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// Re-exported types: the analysis surface.
+type (
+	// CacheConfig describes a set-associative instruction cache.
+	CacheConfig = cache.Config
+	// Mechanism selects the reliability hardware (None, RW, SRB).
+	Mechanism = cache.Mechanism
+	// FaultMap records which cache blocks are permanently faulty.
+	FaultMap = cache.FaultMap
+	// Options configures an analysis (cache, pfail, mechanism, target).
+	Options = core.Options
+	// Result is the outcome of one pWCET analysis.
+	Result = core.Result
+	// Dist is a discrete probability distribution over penalties.
+	Dist = dist.Dist
+	// Point is one (value, probability) atom of a distribution.
+	Point = dist.Point
+	// FMM is the Fault Miss Map: FMM[set][faultyBlocks] bounds the
+	// fault-induced misses.
+	FMM = ipet.FMM
+	// FaultModel carries pfail and the derived block failure
+	// probability of equation 1.
+	FaultModel = fault.Model
+	// VoltageModel maps DVFS supply voltage to per-bit failure
+	// probability (calibrated against the paper's low-voltage citation).
+	VoltageModel = fault.VoltageModel
+)
+
+// DefaultVoltageModel returns the low-voltage SRAM failure calibration
+// (pfail = 1e-3 at 0.5V, per the paper's citation of Zhou et al.).
+func DefaultVoltageModel() VoltageModel { return fault.DefaultVoltageModel() }
+
+// Re-exported types: program authoring.
+type (
+	// Builder assembles a program from structured functions.
+	Builder = program.Builder
+	// Body is a sequence of statements (Ops/Loop/If/Call/Switch).
+	Body = program.Body
+	// Program is an assembled, analyzable program.
+	Program = program.Program
+)
+
+// Reliability mechanisms (Section III.A of the paper).
+const (
+	// None: faulty blocks are disabled, nothing masks them.
+	None = cache.MechanismNone
+	// RW: the Reliable Way.
+	RW = cache.MechanismRW
+	// SRB: the Shared Reliable Buffer.
+	SRB = cache.MechanismSRB
+)
+
+// DefaultTargetExceedance is the paper's 1e-15 target probability.
+const DefaultTargetExceedance = core.DefaultTargetExceedance
+
+// PaperCache returns the evaluation cache of Section IV.A: 1KB, 4 ways,
+// 16-byte lines, 1-cycle hit, 100-cycle memory.
+func PaperCache() CacheConfig { return cache.PaperConfig() }
+
+// NewProgram starts building a program with the given name.
+func NewProgram(name string) *Builder { return program.New(name) }
+
+// Analyze runs the pWCET analysis of a program under the given options.
+func Analyze(p *Program, opt Options) (*Result, error) { return core.Analyze(p, opt) }
+
+// AnalyzeAll analyzes a program under all three architectures (none, RW,
+// SRB) with otherwise identical options.
+func AnalyzeAll(p *Program, opt Options) (map[Mechanism]*Result, error) {
+	return core.AnalyzeAll(p, opt)
+}
+
+// Gain returns the relative pWCET reduction of protected vs baseline.
+func Gain(baseline, protected *Result) float64 { return core.Gain(baseline, protected) }
+
+// Benchmarks lists the names of the 25-benchmark Mälardalen-like suite.
+func Benchmarks() []string { return malardalen.Names() }
+
+// Benchmark builds the named suite benchmark.
+func Benchmark(name string) (*Program, error) { return malardalen.Get(name) }
+
+// PBF computes the block failure probability of equation 1.
+func PBF(pfail float64, blockBits int) float64 { return fault.PBF(pfail, blockBits) }
+
+// ParseMechanism converts "none", "rw" or "srb" to a Mechanism.
+func ParseMechanism(s string) (Mechanism, error) { return cache.ParseMechanism(s) }
+
+// ValidationReport summarizes a Monte-Carlo soundness check.
+type ValidationReport = sim.Report
+
+// Validate samples fault maps from the result's fault model, simulates
+// the program on random paths with a cycle-accurate cache model, and
+// checks that no simulation exceeds its analytical bound. A sound
+// analysis yields zero BoundViolations and zero CCDFViolations.
+func Validate(p *Program, res *Result, samples, pathsPerSample int, seed int64) (*ValidationReport, error) {
+	return sim.Validate(p, res, samples, pathsPerSample, seed)
+}
