@@ -1,0 +1,82 @@
+package dist
+
+// Perf baselines for the convolution hot path and coarsening, at the
+// support sizes the analysis actually folds (the accumulator is capped
+// at core.DefaultMaxSupport = 4096; 1k and 10k bracket it). The
+// "xSet" benchmarks convolve a large accumulator with a 5-atom per-set
+// distribution — the exact shape convolveFMM executes once per cache
+// set — while "xSelf" measures the quadratic worst case.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDist builds an n-atom accumulator-like distribution: values on
+// the miss-penalty grid, mass geometrically concentrated at the
+// bottom like a convolved fault distribution.
+func benchDist(n int, seed int64) *Dist {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	w := make([]float64, n)
+	var sum float64
+	decay := 1.0
+	for i := range w {
+		w[i] = decay * (rng.Float64() + 0.01)
+		decay *= 0.995
+		sum += w[i]
+	}
+	v := int64(0)
+	for i := range pts {
+		pts[i] = Point{Value: v, Prob: w[i] / sum}
+		v += 100 * int64(1+rng.Intn(3))
+	}
+	d, err := New(pts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// benchSetDist is a 5-atom per-set penalty distribution (4-way cache:
+// f = 0..4 faulty ways) with the paper's skew.
+func benchSetDist() *Dist {
+	d, err := New([]Point{
+		{0, 0.95}, {800, 0.04}, {2100, 0.009}, {3600, 0.0009}, {5200, 0.0001},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func benchmarkConvolveSet(b *testing.B, n int) {
+	acc := benchDist(n, 11)
+	set := benchSetDist()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = acc.Convolve(set)
+	}
+}
+
+func BenchmarkConvolve1kxSet(b *testing.B)  { benchmarkConvolveSet(b, 1_000) }
+func BenchmarkConvolve10kxSet(b *testing.B) { benchmarkConvolveSet(b, 10_000) }
+
+func BenchmarkConvolve1kxSelf(b *testing.B) {
+	d := benchDist(1_000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Convolve(d)
+	}
+}
+
+func benchmarkCoarsenTo(b *testing.B, n, maxSupport int) {
+	d := benchDist(n, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.CoarsenTo(maxSupport)
+	}
+}
+
+func BenchmarkCoarsenTo1k(b *testing.B)  { benchmarkCoarsenTo(b, 1_000, 256) }
+func BenchmarkCoarsenTo10k(b *testing.B) { benchmarkCoarsenTo(b, 10_000, 4096) }

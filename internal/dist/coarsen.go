@@ -1,0 +1,64 @@
+package dist
+
+import "sort"
+
+// CoarsenTo bounds the support to at most maxSupport points. See the
+// package comment for the soundness contract: mass only ever moves to
+// a LARGER value, so for every t the coarsened P(X > t) is >= the
+// exact one — the result is a sound (pessimistic) upper bound on the
+// exceedance curve and never under-approximates any exceedance
+// probability.
+//
+// The scheme keeps the maxSupport heaviest atoms in place and merges
+// each lighter atom upward into the nearest retained atom above it.
+// The support maximum is always retained. Because the dropped atoms
+// are the lightest, every exceedance probability grows by at most the
+// dropped mass in its neighborhood — in the pWCET pipeline the atoms
+// that pin the deep-tail quantiles (the 1e-9..1e-15 certification
+// targets) usually carry more mass than the combinatorial dust beyond
+// them, so at the paper's configurations (16 sets, default cap 4096)
+// repeated convolve-then-coarsen folding reproduces the exact
+// quantiles. That precision is config-dependent, not guaranteed: when
+// the cap binds hard (far more sets than the cap accommodates), the
+// sub-cap tail atoms merge all the way into the maximum and the
+// deepest quantiles become pessimistic — still sound, but loose. A
+// tail-aware scheme is a ROADMAP item.
+//
+// A maxSupport <= 0 disables the cap entirely (returns the receiver
+// unchanged); callers own the support growth in that case.
+func (d *Dist) CoarsenTo(maxSupport int) *Dist {
+	n := len(d.values)
+	if maxSupport <= 0 || n <= maxSupport {
+		return d
+	}
+	// Rank atoms by mass, excluding the maximum (index n-1), which is
+	// always retained so upward merges never lack a destination. Ties
+	// break by index for determinism.
+	order := make([]int, n-1)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if d.probs[order[a]] != d.probs[order[b]] {
+			return d.probs[order[a]] < d.probs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	drop := make([]bool, n)
+	for _, i := range order[:n-maxSupport] {
+		drop[i] = true
+	}
+	values := make([]int64, 0, maxSupport)
+	probs := make([]float64, 0, maxSupport)
+	var carry float64 // mass of dropped atoms awaiting the next kept atom
+	for i := 0; i < n; i++ {
+		if drop[i] {
+			carry += d.probs[i]
+			continue
+		}
+		values = append(values, d.values[i])
+		probs = append(probs, d.probs[i]+carry)
+		carry = 0
+	}
+	return fromSorted(values, probs)
+}

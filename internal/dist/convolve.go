@@ -1,0 +1,96 @@
+package dist
+
+import "sort"
+
+// maxDenseSpan caps the dense accumulator at 4M float64 cells (32 MB)
+// no matter how many pairs a convolution produces.
+const maxDenseSpan = 1 << 22
+
+// Convolve returns the distribution of the sum of two independent
+// random variables. This is the analysis hot path — convolveFMM folds
+// it once per cache set — so it avoids map churn entirely:
+//
+//   - a degenerate operand turns the convolution into a Shift;
+//   - when the result's value span is small relative to the number of
+//     atom pairs (the common case: penalties share the miss-penalty
+//     granularity), products are accumulated into a single
+//     preallocated buffer indexed by value offset, O(n·m) with no
+//     sorting and no allocation beyond the buffer and the result;
+//   - otherwise the pairs are materialized into one preallocated
+//     slice, sorted, and merged.
+//
+// Total mass is conserved to floating-point accuracy (the result's
+// mass is the product of the operands' masses); no renormalization
+// happens. Pair products that underflow to exactly 0 are dropped on
+// both paths, preserving the probs[i] > 0 invariant (the lost mass is
+// below the smallest subnormal, far under any tolerance here).
+func (d *Dist) Convolve(o *Dist) *Dist {
+	if len(d.values) == 1 {
+		// P(X = v) = 1: the sum is o shifted by v, scaled by the
+		// (unit) mass.
+		return o.Shift(d.values[0])
+	}
+	if len(o.values) == 1 {
+		return d.Shift(o.values[0])
+	}
+	n, m := len(d.values), len(o.values)
+	base := d.values[0] + o.values[0]
+	span := (d.values[n-1] + o.values[m-1]) - base + 1
+	if span <= int64(denseLimit(n*m)) {
+		return d.convolveDense(o, base, int(span))
+	}
+	return d.convolveSparse(o)
+}
+
+// denseLimit bounds the dense accumulator size: proportional to the
+// O(n·m) work the convolution does anyway, hard-capped at
+// maxDenseSpan.
+func denseLimit(pairs int) int {
+	l := 8*pairs + 1024
+	if l > maxDenseSpan || l < 0 {
+		return maxDenseSpan
+	}
+	return l
+}
+
+// convolveDense accumulates pair products into a value-indexed buffer.
+func (d *Dist) convolveDense(o *Dist, base int64, span int) *Dist {
+	buf := make([]float64, span)
+	for i, vi := range d.values {
+		pi := d.probs[i]
+		off := vi - base
+		for j, vj := range o.values {
+			buf[off+vj] += pi * o.probs[j]
+		}
+	}
+	cnt := 0
+	for _, p := range buf {
+		if p > 0 {
+			cnt++
+		}
+	}
+	values := make([]int64, 0, cnt)
+	probs := make([]float64, 0, cnt)
+	for k, p := range buf {
+		if p > 0 {
+			values = append(values, base+int64(k))
+			probs = append(probs, p)
+		}
+	}
+	return fromSorted(values, probs)
+}
+
+// convolveSparse materializes all value pairs, sorts them once, and
+// merges equal values. Used when the value span is too wide for the
+// dense buffer.
+func (d *Dist) convolveSparse(o *Dist) *Dist {
+	pairs := make([]Point, 0, len(d.values)*len(o.values))
+	for i, vi := range d.values {
+		pi := d.probs[i]
+		for j, vj := range o.values {
+			pairs = append(pairs, Point{Value: vi + vj, Prob: pi * o.probs[j]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Value < pairs[j].Value })
+	return fromSorted(mergeSortedPoints(pairs))
+}
