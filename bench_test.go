@@ -14,6 +14,7 @@
 package pwcet_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -157,6 +158,95 @@ func BenchmarkFMM(b *testing.B) {
 		if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{Mechanism: cache.MechanismNone}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkComputeFMMWorkers profiles the parallel fault-miss-map on
+// adpcm (16 sets x 4 solves) across worker counts. The acceptance bar
+// of the parallel engine: on multi-core hardware workers=4 is >= 2x
+// faster than workers=1, while the FMM stays byte-identical (asserted
+// by TestComputeFMMWorkersByteIdentical and the core equivalence
+// tests).
+func BenchmarkComputeFMMWorkers(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	a := absint.New(p, cfg)
+	classes := a.ClassifyAll()
+	sys, err := ipet.NewSystem(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{
+					Mechanism: cache.MechanismNone,
+					Workers:   workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchPerSetDists builds per-set penalty distributions for a
+// configuration with the given set count (the convolution fold input).
+// Penalty values share the miss-penalty granularity and a realistic
+// per-set miss range (like FMM-derived penalties), which keeps the
+// convolutions on the dense accumulation path as in the pipeline.
+func benchPerSetDists(b *testing.B, sets int) []*dist.Dist {
+	b.Helper()
+	cfg := cache.PaperConfig()
+	pbf := fault.PBF(1e-4, cfg.BlockBits())
+	pwf := fault.PWF(cfg.Ways, pbf)
+	rng := rand.New(rand.NewSource(1))
+	perSet := make([]*dist.Dist, sets)
+	for s := range perSet {
+		pts := make([]dist.Point, len(pwf))
+		v := int64(0)
+		for f := range pts {
+			pts[f] = dist.Point{Value: v * 100, Prob: pwf[f]}
+			v += int64(1 + rng.Intn(25))
+		}
+		d, err := dist.New(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perSet[s] = d
+	}
+	return perSet
+}
+
+// BenchmarkConvolveAllWorkers profiles the parallel pairwise tree
+// reduction on a 256-set configuration across worker counts,
+// benchmarked against the sequential left fold (BenchmarkConvolution
+// measures the 16-set fold).
+func BenchmarkConvolveAllWorkers(b *testing.B) {
+	perSet := benchPerSetDists(b, 256)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total := dist.ConvolveAll(perSet, core.DefaultMaxSupport, workers)
+				_ = total.QuantileExceedance(1e-15)
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeWorkers profiles the end-to-end analysis (adpcm,
+// none — the mechanism with the most ILP work) across worker counts.
+func BenchmarkAnalyzeWorkers(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := pwcet.Options{Pfail: 1e-4, Mechanism: pwcet.None, Workers: workers}
+				if _, err := pwcet.Analyze(p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON benchmark baseline (written to stdout), the
+// format the CI perf-tracking step records as BENCH_<pr>.json:
+//
+//	go test -run '^$' -bench 'ComputeFMM|Convolve' . | benchjson -label pr2 > BENCH_pr2.json
+//
+// Each benchmark line
+//
+//	BenchmarkComputeFMMWorkers/workers=4-8   100  1234567 ns/op  12 B/op
+//
+// becomes one entry with the name, iteration count, ns/op, and any
+// further metric pairs (unit -> value). Context lines (goos, goarch,
+// pkg, cpu) are captured into the header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the serialized benchmark record.
+type Baseline struct {
+	Label   string            `json:"label,omitempty"`
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "", "baseline label recorded in the output (e.g. pr2)")
+	flag.Parse()
+
+	base, err := parse(bufio.NewScanner(os.Stdin), *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output line by line.
+func parse(sc *bufio.Scanner, label string) (*Baseline, error) {
+	base := &Baseline{Label: label, Context: map[string]string{}, Results: []Result{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "ok\t"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			base.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			base.Results = append(base.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return base, nil
+}
+
+// parseBenchLine splits "BenchmarkName-P N val unit [val unit]...".
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = val
+	}
+	return r, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkComputeFMMWorkers/workers=1-8         	      79	  14490974 ns/op
+BenchmarkComputeFMMWorkers/workers=4-8         	     310	   3621205 ns/op
+BenchmarkFig3-8   	       2	 504804832 ns/op	   1.5399e+06 pwcet-none	368486 wcet-fault-free
+PASS
+ok  	repro	3.179s
+`
+
+func TestParse(t *testing.T) {
+	base, err := parse(bufio.NewScanner(strings.NewReader(sample)), "pr2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Label != "pr2" {
+		t.Errorf("label %q", base.Label)
+	}
+	if base.Context["goos"] != "linux" || !strings.Contains(base.Context["cpu"], "Xeon") {
+		t.Errorf("context not captured: %v", base.Context)
+	}
+	if len(base.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(base.Results))
+	}
+	r := base.Results[1]
+	if r.Name != "BenchmarkComputeFMMWorkers/workers=4-8" || r.Iterations != 310 || r.NsPerOp != 3621205 {
+		t.Errorf("result 1 = %+v", r)
+	}
+	fig := base.Results[2]
+	if fig.Metrics["pwcet-none"] != 1.5399e+06 || fig.Metrics["wcet-fault-free"] != 368486 {
+		t.Errorf("custom metrics not captured: %+v", fig.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")), ""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX 12 bogus\n")), ""); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

@@ -8,13 +8,16 @@
 //	paperfigs -fig all    everything above
 //
 // Flags -pfail and -target change the fault probability (default 1e-4)
-// and the exceedance target (default 1e-15).
+// and the exceedance target (default 1e-15); -workers bounds the
+// goroutines used across benchmarks and inside each analysis
+// (0 = GOMAXPROCS). The figures are identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -23,12 +26,25 @@ import (
 	"repro/internal/report"
 )
 
+// workers is the resolved -workers flag: the bound on concurrent
+// benchmark analyses and on each analysis's internal per-set stages.
+var workers int
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4, gains or all")
 	pfail := flag.Float64("pfail", 1e-4, "per-bit permanent failure probability")
 	target := flag.Float64("target", 1e-15, "target exceedance probability")
 	bench := flag.String("bench", "adpcm", "benchmark for -fig 3")
+	workersFlag := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workersFlag < 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: -workers %d is negative\n", *workersFlag)
+		os.Exit(2)
+	}
+	workers = *workersFlag
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	switch *fig {
 	case "1":
@@ -65,7 +81,7 @@ func motivation(name string, target float64) {
 	}
 	rows := [][]string{}
 	for _, pf := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3} {
-		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pf, TargetExceedance: target})
+		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pf, TargetExceedance: target, Workers: workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -136,7 +152,7 @@ func fig3(name string, pfail, target float64) {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target})
+	results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target, Workers: workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -202,9 +218,9 @@ func fig4(pfail, target float64, table bool) {
 func computeFig4(pfail, target float64) []benchRow {
 	names := pwcet.Benchmarks()
 	rows := make([]benchRow, len(names))
-	// The 75 analyses are independent; run them on a bounded worker
-	// pool.
-	const workers = 4
+	// The 75 analyses are independent; run them on the bounded worker
+	// pool (each analysis stays sequential inside: the outer fan-out
+	// already saturates the pool).
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	var firstErr error
@@ -217,7 +233,7 @@ func computeFig4(pfail, target float64) []benchRow {
 				p, err := pwcet.Benchmark(names[i])
 				if err == nil {
 					var results map[pwcet.Mechanism]*pwcet.Result
-					results, err = pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target})
+					results, err = pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target, Workers: 1})
 					if err == nil {
 						none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
 						rows[i] = benchRow{

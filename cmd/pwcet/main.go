@@ -9,11 +9,18 @@
 //	pwcet -bench bs -mech rw -fmm
 //	pwcet -bench adpcm -classes
 //	pwcet -bench fibcall -mech none -validate 200
+//	pwcet -all -workers 8
+//
+// Invalid flags or flag combinations exit with status 2 after a usage
+// message; analysis failures exit with status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"text/tabwriter"
 
@@ -24,77 +31,168 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available benchmarks and exit")
-	all := flag.Bool("all", false, "analyze the whole suite and print a summary table")
-	bench := flag.String("bench", "", "benchmark name (see -list)")
-	mech := flag.String("mech", "all", "reliability mechanism: none, rw, srb or all")
-	pfail := flag.Float64("pfail", 1e-4, "per-bit permanent failure probability")
-	target := flag.Float64("target", 1e-15, "target exceedance probability")
-	curve := flag.Bool("curve", false, "print the exceedance curve as CSV")
-	fmm := flag.Bool("fmm", false, "print the fault miss map")
-	classes := flag.Bool("classes", false, "print the per-reference CHMC summary")
-	precise := flag.Bool("precise", false, "enable the precise SRB analysis (mixture bound; srb only)")
-	validate := flag.Int("validate", 0, "run Monte-Carlo validation with N fault maps")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
+// config carries the parsed and validated command line.
+type config struct {
+	list, all bool
+	bench     string
+	mechs     []pwcet.Mechanism
+	pfail     float64
+	target    float64
+	workers   int
+	curve     bool
+	fmm       bool
+	classes   bool
+	precise   bool
+	validate  int
+}
+
+// parseFlags parses and validates the command line. It returns a usage
+// error (exit status 2) for anything malformed: unknown mechanism
+// names, probabilities outside their domain, negative counts, or flag
+// combinations that cannot be satisfied together.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("pwcet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := &config{}
+	var mech string
+	fs.BoolVar(&c.list, "list", false, "list available benchmarks and exit")
+	fs.BoolVar(&c.all, "all", false, "analyze the whole suite and print a summary table")
+	fs.StringVar(&c.bench, "bench", "", "benchmark name (see -list)")
+	fs.StringVar(&mech, "mech", "all", "reliability mechanism: none, rw, srb or all")
+	fs.Float64Var(&c.pfail, "pfail", 1e-4, "per-bit permanent failure probability, in [0,1]")
+	fs.Float64Var(&c.target, "target", 1e-15, "target exceedance probability, in (0,1)")
+	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve as CSV")
+	fs.BoolVar(&c.fmm, "fmm", false, "print the fault miss map")
+	fs.BoolVar(&c.classes, "classes", false, "print the per-reference CHMC summary")
+	fs.BoolVar(&c.precise, "precise", false, "enable the precise SRB analysis (mixture bound; srb only)")
+	fs.IntVar(&c.validate, "validate", 0, "run Monte-Carlo validation with N fault maps")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	usage := func(format string, a ...any) error {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(stderr, "pwcet: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	if fs.NArg() > 0 {
+		return nil, usage("unexpected arguments %q", fs.Args())
+	}
+	if c.pfail < 0 || c.pfail > 1 || math.IsNaN(c.pfail) {
+		return nil, usage("-pfail %g outside [0,1]", c.pfail)
+	}
+	if c.target <= 0 || c.target >= 1 || math.IsNaN(c.target) {
+		return nil, usage("-target %g outside (0,1)", c.target)
+	}
+	if c.workers < 0 {
+		return nil, usage("-workers %d is negative (0 means GOMAXPROCS)", c.workers)
+	}
+	if c.validate < 0 {
+		return nil, usage("-validate %d is negative", c.validate)
+	}
+	if mech == "all" {
+		c.mechs = []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB}
+	} else {
+		m, err := pwcet.ParseMechanism(mech)
+		if err != nil {
+			return nil, usage("%v", err)
+		}
+		c.mechs = []pwcet.Mechanism{m}
+	}
+	if c.list || c.all {
+		if c.bench != "" {
+			return nil, usage("-bench cannot be combined with -list or -all")
+		}
+		benchOnly := []struct {
+			name string
+			set  bool
+		}{
+			{"-curve", c.curve}, {"-fmm", c.fmm}, {"-classes", c.classes},
+			{"-precise", c.precise}, {"-validate", c.validate > 0},
+		}
+		for _, f := range benchOnly {
+			if f.set {
+				return nil, usage("%s requires -bench", f.name)
+			}
+		}
+		return c, nil
+	}
+	if c.bench == "" {
+		return nil, usage("-bench or -list required")
+	}
+	if _, err := pwcet.Benchmark(c.bench); err != nil {
+		return nil, usage("%v (see -list)", err)
+	}
+	return c, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+	if c.list {
 		for _, n := range pwcet.Benchmarks() {
 			p := malardalen.MustGet(n)
-			fmt.Printf("%-14s %6d bytes  %4d blocks  %3d loops\n",
+			fmt.Fprintf(stdout, "%-14s %6d bytes  %4d blocks  %3d loops\n",
 				n, p.CodeBytes(), len(p.Blocks), len(p.Loops))
 		}
-		return
+		return 0
 	}
-	if *all {
-		analyzeAll(*pfail, *target)
-		return
-	}
-	if *bench == "" {
-		fmt.Fprintln(os.Stderr, "pwcet: -bench or -list required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	p, err := pwcet.Benchmark(*bench)
-	if err != nil {
-		fatal(err)
-	}
-
-	var mechs []pwcet.Mechanism
-	if *mech == "all" {
-		mechs = []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB}
-	} else {
-		m, err := pwcet.ParseMechanism(*mech)
-		if err != nil {
-			fatal(err)
+	if c.all {
+		if err := analyzeAll(stdout, c); err != nil {
+			fmt.Fprintln(stderr, "pwcet:", err)
+			return 1
 		}
-		mechs = []pwcet.Mechanism{m}
+		return 0
+	}
+	if err := analyzeBench(stdout, c); err != nil {
+		fmt.Fprintln(stderr, "pwcet:", err)
+		return 1
+	}
+	return 0
+}
+
+// analyzeBench analyzes one benchmark under the selected mechanisms.
+func analyzeBench(stdout io.Writer, c *config) error {
+	p, err := pwcet.Benchmark(c.bench)
+	if err != nil {
+		return err
 	}
 
-	opt := pwcet.Options{Pfail: *pfail, TargetExceedance: *target}
-	results := make(map[pwcet.Mechanism]*core.Result, len(mechs))
-	for _, m := range mechs {
+	opt := pwcet.Options{Pfail: c.pfail, TargetExceedance: c.target, Workers: c.workers}
+	results := make(map[pwcet.Mechanism]*core.Result, len(c.mechs))
+	for _, m := range c.mechs {
 		o := opt
 		o.Mechanism = m
-		o.PreciseSRB = *precise && m == pwcet.SRB
+		o.PreciseSRB = c.precise && m == pwcet.SRB
 		r, err := pwcet.Analyze(p, o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		results[m] = r
 	}
 
-	first := results[mechs[0]]
-	fmt.Printf("benchmark %s: %d bytes of code, %d basic blocks, %d loops\n",
-		*bench, p.CodeBytes(), len(p.Blocks), len(p.Loops))
-	fmt.Printf("cache: %dB, %d sets x %d ways x %dB lines; pfail=%g (pbf=%.4g); target=%g\n",
+	first := results[c.mechs[0]]
+	fmt.Fprintf(stdout, "benchmark %s: %d bytes of code, %d basic blocks, %d loops\n",
+		c.bench, p.CodeBytes(), len(p.Blocks), len(p.Loops))
+	fmt.Fprintf(stdout, "cache: %dB, %d sets x %d ways x %dB lines; pfail=%g (pbf=%.4g); target=%g\n",
 		first.Options.Cache.SizeBytes(), first.Options.Cache.Sets, first.Options.Cache.Ways,
-		first.Options.Cache.BlockBytes, *pfail, first.Model.PBF, *target)
-	fmt.Printf("references: %d always-hit, %d first-miss, %d always-miss/not-classified\n",
+		first.Options.Cache.BlockBytes, c.pfail, first.Model.PBF, c.target)
+	fmt.Fprintf(stdout, "references: %d always-hit, %d first-miss, %d always-miss/not-classified\n",
 		first.HitRefs, first.FMRefs, first.MissRefs)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "mechanism\tfault-free WCET\tpWCET\tratio\tmax penalty")
-	for _, m := range mechs {
+	for _, m := range c.mechs {
 		r := results[m]
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\n",
 			m, r.FaultFreeWCET, r.PWCET,
@@ -102,50 +200,53 @@ func main() {
 	}
 	tw.Flush()
 
-	if *classes {
-		printClasses(p, first.Options.Cache)
+	if c.classes {
+		printClasses(stdout, p, first.Options.Cache)
 	}
 
-	for _, m := range mechs {
+	for _, m := range c.mechs {
 		r := results[m]
-		if *fmm {
-			fmt.Printf("\nfault miss map (%s), rows = sets, columns = faulty blocks 0..W:\n", m)
+		if c.fmm {
+			fmt.Fprintf(stdout, "\nfault miss map (%s), rows = sets, columns = faulty blocks 0..W:\n", m)
 			for s, row := range r.FMM {
-				fmt.Printf("  set %2d:", s)
+				fmt.Fprintf(stdout, "  set %2d:", s)
 				for _, v := range row {
-					fmt.Printf(" %7d", v)
+					fmt.Fprintf(stdout, " %7d", v)
 				}
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
-		if *curve {
-			fmt.Printf("\nexceedance curve (%s): wcet_cycles,probability\n", m)
+		if c.curve {
+			fmt.Fprintf(stdout, "\nexceedance curve (%s): wcet_cycles,probability\n", m)
 			for _, pt := range r.ExceedanceCurve() {
-				fmt.Printf("%d,%.6g\n", pt.Value, pt.Prob)
+				fmt.Fprintf(stdout, "%d,%.6g\n", pt.Value, pt.Prob)
 			}
 		}
-		if *validate > 0 {
-			rep, err := sim.Validate(p, r, *validate, 2, 1)
+		if c.validate > 0 {
+			rep, err := sim.Validate(p, r, c.validate, 2, 1)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("\nvalidation (%s): %d fault maps x %d paths: max simulated %d, max bound %d, "+
+			fmt.Fprintf(stdout, "\nvalidation (%s): %d fault maps x %d paths: max simulated %d, max bound %d, "+
 				"bound violations %d, CCDF violations %d\n",
 				m, rep.Samples, rep.PathsPerSample, rep.MaxTime, rep.MaxBound,
 				rep.BoundViolations, rep.CCDFViolations)
 		}
 	}
+	return nil
 }
 
 // analyzeAll prints the whole-suite summary (one line per benchmark).
-func analyzeAll(pfail, target float64) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+func analyzeAll(stdout io.Writer, c *config) error {
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "benchmark\tcode B\tfault-free\tnone\tsrb\trw\tgain srb\tgain rw\t")
 	for _, name := range pwcet.Benchmarks() {
 		p := malardalen.MustGet(name)
-		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target})
+		results, err := pwcet.AnalyzeAll(p, pwcet.Options{
+			Pfail: c.pfail, TargetExceedance: c.target, Workers: c.workers,
+		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f%%\t%.0f%%\t\n",
@@ -153,10 +254,11 @@ func analyzeAll(pfail, target float64) {
 			100*pwcet.Gain(none, srb), 100*pwcet.Gain(none, rw))
 	}
 	tw.Flush()
+	return nil
 }
 
 // printClasses summarizes the CHMC classification per cache set.
-func printClasses(p *pwcet.Program, cfg pwcet.CacheConfig) {
+func printClasses(stdout io.Writer, p *pwcet.Program, cfg pwcet.CacheConfig) {
 	cls := core.Classify(p, cfg)
 	perSet := make(map[int]map[string]int)
 	for i, r := range cls.Refs {
@@ -170,15 +272,10 @@ func printClasses(p *pwcet.Program, cfg pwcet.CacheConfig) {
 			m["SRB-AH"]++
 		}
 	}
-	fmt.Println("\nper-set reference classification (AH / FM / AM / NC, SRB guaranteed hits):")
+	fmt.Fprintln(stdout, "\nper-set reference classification (AH / FM / AM / NC, SRB guaranteed hits):")
 	for s := 0; s < cfg.Sets; s++ {
 		m := perSet[s]
-		fmt.Printf("  set %2d: AH %3d  FM %3d  AM %3d  NC %3d  SRB-AH %3d\n",
+		fmt.Fprintf(stdout, "  set %2d: AH %3d  FM %3d  AM %3d  NC %3d  SRB-AH %3d\n",
 			s, m["AH"], m["FM"], m["AM"], m["NC"], m["SRB-AH"])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pwcet:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd executes run with captured output.
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestInvalidFlagsExitWithUsage: every malformed flag or combination
+// must exit with status 2 and print both the specific error and the
+// flag usage, instead of surfacing a raw error mid-run.
+func TestInvalidFlagsExitWithUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"no args", nil, "-bench or -list required"},
+		{"bad mechanism", []string{"-bench", "bs", "-mech", "bogus"}, "unknown mechanism"},
+		{"pfail above 1", []string{"-bench", "bs", "-pfail", "1.5"}, "outside [0,1]"},
+		{"pfail negative", []string{"-bench", "bs", "-pfail", "-0.1"}, "outside [0,1]"},
+		{"target zero", []string{"-bench", "bs", "-target", "0"}, "outside (0,1)"},
+		{"target one", []string{"-bench", "bs", "-target", "1"}, "outside (0,1)"},
+		{"negative workers", []string{"-bench", "bs", "-workers", "-2"}, "negative"},
+		{"negative validate", []string{"-bench", "bs", "-validate", "-1"}, "negative"},
+		{"unknown benchmark", []string{"-bench", "nope"}, "see -list"},
+		{"unknown flag", []string{"-wat"}, "flag provided but not defined"},
+		{"positional junk", []string{"-list", "extra"}, "unexpected arguments"},
+		{"list plus bench", []string{"-list", "-bench", "bs"}, "cannot be combined"},
+		{"all plus curve", []string{"-all", "-curve"}, "requires -bench"},
+		{"all plus validate", []string{"-all", "-validate", "10"}, "requires -bench"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCmd(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-bench string") {
+				t.Errorf("stderr missing usage text:\n%s", stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage errors must not write to stdout, got:\n%s", stdout)
+			}
+		})
+	}
+}
+
+// TestListAndAnalyzeSucceed smoke-tests the happy paths, including the
+// new -workers flag.
+func TestListAndAnalyzeSucceed(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "adpcm") {
+		t.Errorf("-list output missing adpcm:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCmd(t, "-bench", "bs", "-mech", "rw", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("analysis exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "pWCET") || !strings.Contains(stdout, "rw") {
+		t.Errorf("analysis output incomplete:\n%s", stdout)
+	}
+}
+
+// TestWorkersFlagDoesNotChangeOutput: the CLI output is identical for
+// every -workers value (the determinism guarantee, end to end).
+func TestWorkersFlagDoesNotChangeOutput(t *testing.T) {
+	_, ref, _ := runCmd(t, "-bench", "crc", "-mech", "all", "-workers", "1")
+	for _, w := range []string{"0", "2", "8"} {
+		code, got, stderr := runCmd(t, "-bench", "crc", "-mech", "all", "-workers", w)
+		if code != 0 {
+			t.Fatalf("-workers %s exited %d: %s", w, code, stderr)
+		}
+		if got != ref {
+			t.Errorf("-workers %s changed the output:\n--- workers=1\n%s\n--- workers=%s\n%s", w, ref, w, got)
+		}
+	}
+}

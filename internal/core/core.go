@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/absint"
 	"repro/internal/cache"
@@ -66,6 +67,13 @@ type Options struct {
 	// the two penalty distributions convolve. Not combinable with
 	// PreciseSRB.
 	DataCache *cache.Config
+	// Workers bounds the goroutines used for the per-set stages (the
+	// FMM's ILP solves and the penalty convolution tree), which are
+	// independent across sets. 0 means GOMAXPROCS, 1 is fully
+	// sequential; negative values are rejected. Results are
+	// byte-identical for every worker count — parallelism only changes
+	// wall-clock time, never FMM entries, distributions or pWCETs.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +87,29 @@ func (o Options) withDefaults() Options {
 		o.MaxSupport = DefaultMaxSupport
 	}
 	return o
+}
+
+// validate checks the option fields shared by Analyze and AnalyzeAll,
+// after defaults have been applied.
+func (o Options) validate() error {
+	if err := o.Cache.Validate(); err != nil {
+		return err
+	}
+	if o.TargetExceedance <= 0 || o.TargetExceedance >= 1 {
+		return fmt.Errorf("core: target exceedance %g outside (0,1)", o.TargetExceedance)
+	}
+	// MaxSupport feeds dist.CoarsenTo, where values below 2 would
+	// either disable the cap (<= 0, silently unbounded memory) or
+	// collapse every distribution to its maximum (1). Only 0 (replaced
+	// by the default above) is a valid "unset".
+	if o.MaxSupport < 2 {
+		return fmt.Errorf("core: MaxSupport %d: need at least 2 support points (or 0 for the default %d)",
+			o.MaxSupport, DefaultMaxSupport)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", o.Workers)
+	}
+	return nil
 }
 
 // Result is the outcome of one pWCET analysis.
@@ -125,11 +156,8 @@ type Result struct {
 // Analyze runs the full pWCET analysis of one program.
 func Analyze(p *program.Program, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
-	if err := opt.Cache.Validate(); err != nil {
+	if err := opt.validate(); err != nil {
 		return nil, err
-	}
-	if opt.TargetExceedance <= 0 || opt.TargetExceedance >= 1 {
-		return nil, fmt.Errorf("core: target exceedance %g outside (0,1)", opt.TargetExceedance)
 	}
 	model, err := fault.NewModel(opt.Pfail, opt.Cache)
 	if err != nil {
@@ -176,7 +204,7 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	fopt := ipet.FMMOptions{Mechanism: opt.Mechanism}
+	fopt := ipet.FMMOptions{Mechanism: opt.Mechanism, Workers: opt.Workers}
 	if opt.Mechanism == cache.MechanismSRB {
 		fopt.SRBHit = a.ClassifySRB()
 	}
@@ -196,7 +224,7 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		MissRefs:      wres.MissRefs,
 	}
 	if da != nil {
-		dfopt := ipet.FMMOptions{Mechanism: opt.Mechanism}
+		dfopt := ipet.FMMOptions{Mechanism: opt.Mechanism, Workers: opt.Workers}
 		if opt.Mechanism == cache.MechanismSRB {
 			dfopt.SRBHit = da.ClassifySRB()
 		}
@@ -225,14 +253,14 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 func (r *Result) buildDistributions() error {
 	cfg := r.Options.Cache
 	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-		dist.Degenerate(0), r.Options.MaxSupport)
+		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Workers)
 	if err != nil {
 		return err
 	}
 	r.PerSet = perSet
 	if r.DataFMM != nil {
 		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
-			r.Options.Mechanism, penalty, r.Options.MaxSupport)
+			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Workers)
 		if err != nil {
 			return err
 		}
@@ -242,10 +270,13 @@ func (r *Result) buildDistributions() error {
 	return nil
 }
 
-// convolveFMM folds one cache's per-set penalty distributions into an
-// accumulator distribution.
+// convolveFMM convolves one cache's per-set penalty distributions into
+// an accumulator distribution. The per-set distributions are reduced by
+// dist.ConvolveAll's parallel pairwise tree (coarsening only the
+// partial products that exceed maxSupport) and the result is folded
+// into the accumulator; workers bounds the tree's parallelism.
 func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.Mechanism,
-	acc *dist.Dist, maxSupport int) ([]*dist.Dist, *dist.Dist, error) {
+	acc *dist.Dist, maxSupport, workers int) ([]*dist.Dist, *dist.Dist, error) {
 	var pwf []float64
 	if mech == cache.MechanismRW {
 		pwf = fault.PWFReliableWay(cfg.Ways, model.PBF) // equation 3
@@ -266,8 +297,9 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 			return nil, nil, fmt.Errorf("core: set %d penalty distribution: %w", s, err)
 		}
 		perSet[s] = d
-		acc = acc.Convolve(d).CoarsenTo(maxSupport)
 	}
+	total := dist.ConvolveAll(perSet, maxSupport, workers)
+	acc = acc.Convolve(total).CoarsenTo(maxSupport)
 	return perSet, acc, nil
 }
 
@@ -310,11 +342,8 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 		return nil, fmt.Errorf("core: AnalyzeAll does not support PreciseSRB or DataCache; call Analyze per mechanism")
 	}
 	opt = opt.withDefaults()
-	if err := opt.Cache.Validate(); err != nil {
+	if err := opt.validate(); err != nil {
 		return nil, err
-	}
-	if opt.TargetExceedance <= 0 || opt.TargetExceedance >= 1 {
-		return nil, fmt.Errorf("core: target exceedance %g outside (0,1)", opt.TargetExceedance)
 	}
 	model, err := fault.NewModel(opt.Pfail, opt.Cache)
 	if err != nil {
@@ -339,7 +368,10 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 	}
 
 	// One FMM per distinct f = W column; f < W columns coincide.
-	fmmNone, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{Mechanism: cache.MechanismNone})
+	fmmNone, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
+		Mechanism: cache.MechanismNone,
+		Workers:   opt.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -347,6 +379,7 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 		Mechanism:          cache.MechanismSRB,
 		SRBHit:             a.ClassifySRB(),
 		OnlyWholeSetColumn: true, // f < W columns coincide with fmmNone's
+		Workers:            opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -360,28 +393,54 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 		fmmRW[s][opt.Cache.Ways] = 0 // the column equation 3 excludes
 	}
 
-	out := make(map[cache.Mechanism]*Result, 3)
-	for m, fmm := range map[cache.Mechanism]ipet.FMM{
-		cache.MechanismNone: fmmNone,
-		cache.MechanismRW:   fmmRW,
-		cache.MechanismSRB:  fmmSRB,
-	} {
+	// The three mechanisms' distributions are independent of each other;
+	// build them concurrently (each is itself deterministic, so the
+	// result does not depend on Workers). Errors are reported in the
+	// fixed mechanism order below, like a sequential loop would.
+	mechs := []struct {
+		m   cache.Mechanism
+		fmm ipet.FMM
+	}{
+		{cache.MechanismNone, fmmNone},
+		{cache.MechanismRW, fmmRW},
+		{cache.MechanismSRB, fmmSRB},
+	}
+	results := make([]*Result, len(mechs))
+	errs := make([]error, len(mechs))
+	var wg sync.WaitGroup
+	for i, mf := range mechs {
 		o := opt
-		o.Mechanism = m
+		o.Mechanism = mf.m
 		res := &Result{
 			Program:       p.Name,
 			Options:       o,
 			Model:         model,
 			FaultFreeWCET: wres.WCET,
-			FMM:           fmm,
+			FMM:           mf.fmm,
 			HitRefs:       wres.HitRefs,
 			FMRefs:        wres.FMRefs,
 			MissRefs:      wres.MissRefs,
 		}
-		if err := res.buildDistributions(); err != nil {
+		results[i] = res
+		if opt.Workers == 1 {
+			errs[i] = res.buildDistributions()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = res.buildDistributions()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		out[m] = res
+	}
+	out := make(map[cache.Mechanism]*Result, len(mechs))
+	for i, mf := range mechs {
+		out[mf.m] = results[i]
 	}
 	return out, nil
 }

@@ -55,6 +55,7 @@ func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []ch
 	fmm, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
 		Mechanism:  r.Options.Mechanism,
 		PreciseSRB: true,
+		Workers:    r.Options.Workers,
 	})
 	if err != nil {
 		return err
@@ -62,7 +63,7 @@ func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []ch
 	r.FMMPrecise = fmm
 
 	pwf := fault.PWF(cfg.Ways, r.Model.PBF)
-	penalty := dist.Degenerate(0)
+	perSet := make([]*dist.Dist, cfg.Sets)
 	for s := 0; s < cfg.Sets; s++ {
 		pts := make([]dist.Point, 0, len(pwf))
 		for f, prob := range pwf {
@@ -72,9 +73,9 @@ func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []ch
 		if err != nil {
 			return err
 		}
-		penalty = penalty.Convolve(d).CoarsenTo(r.Options.MaxSupport)
+		perSet[s] = d
 	}
-	r.PenaltyPrecise = penalty
+	r.PenaltyPrecise = dist.ConvolveAll(perSet, r.Options.MaxSupport, r.Options.Workers)
 	r.ProbMultiFullSets = probMultiFullSets(r.Model.PBF, cfg.Sets, cfg.Ways)
 	r.PWCET = r.FaultFreeWCET + r.mixtureQuantile(r.Options.TargetExceedance)
 	return nil

@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// foldConvolve is the reference left fold ConvolveAll replaced:
+// acc ⊗ d, coarsened after every step.
+func foldConvolve(ds []*Dist, maxSupport int) *Dist {
+	acc := Degenerate(0)
+	for _, d := range ds {
+		acc = acc.Convolve(d).CoarsenTo(maxSupport)
+	}
+	return acc
+}
+
+func randomDists(t *testing.T, rng *rand.Rand, count, maxN int) []*Dist {
+	t.Helper()
+	ds := make([]*Dist, count)
+	for i := range ds {
+		ds[i] = randomDist(t, rng, maxN)
+	}
+	return ds
+}
+
+// TestConvolveAllMatchesFoldExact: with an unbinding support cap the
+// tree reduction computes the same distribution as the sequential fold
+// — identical support, probabilities equal up to reassociation
+// rounding, and identical quantiles at every probability the pipeline
+// reads (the golden values of the pWCET analysis).
+func TestConvolveAllMatchesFoldExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		ds := randomDists(t, rng, 1+rng.Intn(12), 6)
+		const cap = 1 << 20 // never binds on these sizes
+		tree := ConvolveAll(ds, cap, 1+rng.Intn(4))
+		fold := foldConvolve(ds, cap)
+		if tree.Len() != fold.Len() {
+			t.Fatalf("support sizes differ: tree %d, fold %d", tree.Len(), fold.Len())
+		}
+		fp := fold.Points()
+		for i, p := range tree.Points() {
+			if p.Value != fp[i].Value {
+				t.Fatalf("support differs at %d: %d vs %d", i, p.Value, fp[i].Value)
+			}
+			if math.Abs(p.Prob-fp[i].Prob) > 1e-12 {
+				t.Fatalf("probability differs at value %d: %g vs %g", p.Value, fp[i].Prob, p.Prob)
+			}
+		}
+		for _, q := range []float64{0.5, 1e-2, 1e-4, 1e-6, 1e-9, 1e-12, 1e-15} {
+			if a, b := tree.QuantileExceedance(q), fold.QuantileExceedance(q); a != b {
+				t.Fatalf("quantile at %g differs: tree %d, fold %d", q, a, b)
+			}
+		}
+	}
+}
+
+// TestConvolveAllWorkerCountIrrelevant: the reduction is byte-identical
+// for every worker count, binding cap or not.
+func TestConvolveAllWorkerCountIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 60; iter++ {
+		ds := randomDists(t, rng, 1+rng.Intn(20), 8)
+		maxSupport := 2 + rng.Intn(64)
+		ref := ConvolveAll(ds, maxSupport, 1)
+		for _, workers := range []int{0, 2, 3, 7, 16} {
+			got := ConvolveAll(ds, maxSupport, workers)
+			if got.Len() != ref.Len() {
+				t.Fatalf("workers=%d: support size %d vs %d", workers, got.Len(), ref.Len())
+			}
+			rp := ref.Points()
+			for i, p := range got.Points() {
+				if p != rp[i] {
+					t.Fatalf("workers=%d: atom %d is %+v, want %+v (must be byte-identical)",
+						workers, i, p, rp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConvolveAllSoundWhenCapBinds: with a binding cap the tree result
+// must stochastically dominate the exact (uncoarsened) distribution —
+// same contract as the fold — conserve mass, and keep the exact
+// support maximum.
+func TestConvolveAllSoundWhenCapBinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 60; iter++ {
+		ds := randomDists(t, rng, 2+rng.Intn(10), 5)
+		exact := ConvolveAll(ds, 0, 1) // cap disabled: exact distribution
+		maxSupport := 2 + rng.Intn(16)
+		coarse := ConvolveAll(ds, maxSupport, 2)
+		if coarse.Len() > maxSupport {
+			t.Fatalf("support %d exceeds cap %d", coarse.Len(), maxSupport)
+		}
+		if coarse.Max() != exact.Max() {
+			t.Fatalf("support maximum changed: %d vs %d", coarse.Max(), exact.Max())
+		}
+		if m := coarse.Mass(); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("mass drifted to %g", m)
+		}
+		if !exact.DominatedBy(coarse, 1e-9) {
+			t.Fatal("coarse tree result does not dominate the exact distribution")
+		}
+	}
+}
+
+// TestConvolveAllEdgeCases: empty input is the neutral element; a
+// single distribution is returned coarsened, like the fold would.
+func TestConvolveAllEdgeCases(t *testing.T) {
+	if d := ConvolveAll(nil, 16, 4); d.Len() != 1 || d.Max() != 0 {
+		t.Fatalf("empty reduction = %v, want Degenerate(0)", d.Points())
+	}
+	rng := rand.New(rand.NewSource(14))
+	d := randomDist(t, rng, 40)
+	got := ConvolveAll([]*Dist{d}, 8, 4)
+	want := d.CoarsenTo(8)
+	if got.Len() != want.Len() {
+		t.Fatalf("single-dist reduction has %d atoms, want %d", got.Len(), want.Len())
+	}
+	wp := want.Points()
+	for i, p := range got.Points() {
+		if p != wp[i] {
+			t.Fatalf("single-dist atom %d: %+v vs %+v", i, p, wp[i])
+		}
+	}
+}
+
+// FuzzConvolveAll feeds arbitrary byte-derived distribution lists to
+// the parallel reduction and checks the invariants that must hold for
+// any input: worker-count independence (byte-identical atoms), support
+// cap respected, unit mass conserved, and dominance over the exact
+// distribution when coarsening kicked in.
+func FuzzConvolveAll(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(8), uint8(3))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(1))
+	f.Add([]byte{9, 200, 9, 200, 9, 200, 9, 200, 9, 200, 9}, uint8(4), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, cap8, workers8 uint8) {
+		maxSupport := 2 + int(cap8)
+		workers := int(workers8 % 9)
+		// Decode pairs of bytes into atoms, 3 atoms per distribution.
+		var ds []*Dist
+		var pts []Point
+		for len(data) >= 2 {
+			v := int64(binary.LittleEndian.Uint16(data[:2]) % 512)
+			pts = append(pts, Point{Value: v, Prob: 1})
+			data = data[2:]
+			if len(pts) == 3 {
+				for i := range pts {
+					pts[i].Prob = 1.0 / 3
+				}
+				d, err := New(pts)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				ds = append(ds, d)
+				pts = nil
+			}
+		}
+		if len(ds) == 0 || len(ds) > 24 {
+			return
+		}
+		got := ConvolveAll(ds, maxSupport, workers)
+		if got.Len() > maxSupport {
+			t.Fatalf("support %d exceeds cap %d", got.Len(), maxSupport)
+		}
+		if m := got.Mass(); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("mass drifted to %g", m)
+		}
+		ref := ConvolveAll(ds, maxSupport, 1)
+		if got.Len() != ref.Len() {
+			t.Fatalf("workers=%d changed support size: %d vs %d", workers, got.Len(), ref.Len())
+		}
+		rp := ref.Points()
+		for i, p := range got.Points() {
+			if p != rp[i] {
+				t.Fatalf("workers=%d changed atom %d: %+v vs %+v", workers, i, p, rp[i])
+			}
+		}
+		exact := ConvolveAll(ds, 0, 2)
+		if !exact.DominatedBy(got, 1e-9) {
+			t.Fatal("reduction result does not dominate the exact distribution")
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cache"
 )
@@ -51,7 +52,150 @@ func binomial(n int, p float64) []float64 {
 	for w := 0; w <= n; w++ {
 		out[w] = choose(n, w) * math.Pow(p, float64(w)) * math.Pow(1-p, float64(n-w))
 	}
+	renormalize(out)
 	return out
+}
+
+// renormalize rescales a probability vector so it sums to exactly 1:
+// the binomial terms individually round, so their float sum can drift
+// a few ulps from 1, and at the paper's 1e-15 target exceedance a
+// penalty distribution carrying more or less than unit mass shifts the
+// deep-tail quantiles. After the multiplicative rescale, the residual
+// ulps are folded into the largest entry — where they are relatively
+// smallest and can never flip a sign; the tail entries, whose tiny
+// masses pin the deep quantiles, are left bit-exact. Folding moves the
+// forward sum by one rounding step per pass, so a handful of passes
+// reaches a sum of exactly 1 (each pass strictly shrinks |1-sum| until
+// it hits 0).
+func renormalize(out []float64) {
+	var sum float64
+	argmax := 0
+	for i, v := range out {
+		sum += v
+		if v > out[argmax] {
+			argmax = i
+		}
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return // degenerate input; leave it to the caller's validation
+	}
+	if sum != 1 {
+		inv := 1 / sum
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	// Exactness step: the rescaled forward sum still rounds, leaving a
+	// residual of an ulp or two. The forward sum is monotone in every
+	// entry, so for each entry (largest first) bracket the target and
+	// bisect over the entry's ulp offsets until the sum lands exactly on
+	// 1; if the sum's rounding steps over 1 on this entry (possible when
+	// the partial crossing 1 rounds at coarser granularity than the
+	// entry moves it), restore it and try the next. The winning entry
+	// absorbed only ulps of itself — a relative error of a few 1e-16 —
+	// so even when a tail entry is chosen, the tiny masses that pin the
+	// deep quantiles keep their accuracy.
+	if forwardSum(out) == 1 {
+		return
+	}
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return out[order[a]] > out[order[b]] })
+	for _, j := range order {
+		if exactifyAt(out, j) {
+			return
+		}
+	}
+	// No entry admits an exact landing (not observed in practice); the
+	// sum is off by at most a couple of ulps, well inside
+	// dist.MassTolerance.
+}
+
+// exactifyAt tries to make forwardSum(out) exactly 1 by adjusting only
+// out[j], bisecting over ulp offsets of the entry. It reports success;
+// on failure out[j] is restored.
+func exactifyAt(out []float64, j int) bool {
+	x0 := out[j]
+	if x0 <= 0 || math.IsInf(x0, 0) || math.IsNaN(x0) {
+		return false
+	}
+	f := func(k int64) float64 {
+		out[j] = ulpOffset(x0, k)
+		return forwardSum(out)
+	}
+	// Expand a bracket [klo, khi] in ulp offsets with f(klo) < 1 < f(khi).
+	const maxExp = int64(1) << 40
+	var klo, khi int64
+	s := f(0)
+	switch {
+	case s == 1:
+		return true
+	case s < 1:
+		klo = 0
+		for khi = 1; ; khi *= 2 {
+			if v := f(khi); v == 1 {
+				return true
+			} else if v > 1 {
+				break
+			}
+			if khi >= maxExp {
+				out[j] = x0
+				return false // entry too small to move the sum
+			}
+		}
+	default:
+		khi = 0
+		for klo = -1; ; klo *= 2 {
+			if ulpOffset(x0, klo) <= 0 {
+				out[j] = x0
+				return false // cannot shrink this entry enough
+			}
+			if v := f(klo); v == 1 {
+				return true
+			} else if v < 1 {
+				break
+			}
+			if klo <= -maxExp {
+				out[j] = x0
+				return false
+			}
+		}
+	}
+	for khi-klo > 1 {
+		mid := klo + (khi-klo)/2
+		switch v := f(mid); {
+		case v == 1:
+			return true
+		case v < 1:
+			klo = mid
+		default:
+			khi = mid
+		}
+	}
+	out[j] = x0
+	return false // the rounded sum steps over 1 on this entry
+}
+
+// ulpOffset returns the float k representable steps away from the
+// positive float x (negative k steps toward zero), clamping at 0. The
+// IEEE-754 bit patterns of positive floats are ordered, so stepping is
+// integer arithmetic on the representation.
+func ulpOffset(x float64, k int64) float64 {
+	b := int64(math.Float64bits(x)) + k
+	if b <= 0 {
+		return 0
+	}
+	return math.Float64frombits(uint64(b))
+}
+
+func forwardSum(out []float64) float64 {
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
 }
 
 func choose(n, k int) float64 {

@@ -61,6 +61,43 @@ func TestPWFSumsToOne(t *testing.T) {
 	}
 }
 
+// TestPWFExactUnitMass is the regression test for the renormalization
+// of binomial: the raw terms accumulate floating-point error, and any
+// deviation from unit mass surfaces as wrong deep-tail quantiles at
+// the paper's 1e-15 target. The sum must now be exactly 1.0 — not just
+// within a tolerance — for every associativity and failure probability.
+func TestPWFExactUnitMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pbfs := []float64{0, 1e-12, 1e-6, 0.0127, 0.1, 0.5, 0.9, 1 - 1e-9, 1}
+	for i := 0; i < 100; i++ {
+		pbfs = append(pbfs, rng.Float64())
+	}
+	for w := 1; w <= 16; w++ {
+		for _, pbf := range pbfs {
+			var sum float64
+			for _, p := range PWF(w, pbf) {
+				if p < 0 {
+					t.Fatalf("PWF(%d, %g): negative probability %g", w, pbf, p)
+				}
+				sum += p
+			}
+			if sum != 1 {
+				t.Errorf("PWF(%d, %g) sums to %.17g, want exactly 1", w, pbf, sum)
+			}
+			sum = 0
+			for _, p := range PWFReliableWay(w+1, pbf) {
+				if p < 0 {
+					t.Fatalf("PWFReliableWay(%d, %g): negative probability %g", w+1, pbf, p)
+				}
+				sum += p
+			}
+			if sum != 1 {
+				t.Errorf("PWFReliableWay(%d, %g) sums to %.17g, want exactly 1", w+1, pbf, sum)
+			}
+		}
+	}
+}
+
 func TestPWFKnownValues(t *testing.T) {
 	// W=4, pbf=0.5: binomial(4, 0.5) = 1/16, 4/16, 6/16, 4/16, 1/16.
 	got := PWF(4, 0.5)

@@ -178,6 +178,24 @@ func (s *System) MaximizeBlockWeights(weights []float64, constant float64) (*Res
 // Program returns the program the system was built for.
 func (s *System) Program() *program.Program { return s.p }
 
+// Clone returns a System that shares the program, constraints and edge
+// maps (all read-only after NewSystem) but owns a private copy of the
+// warm simplex state. Clones can run MaximizeBlockWeights concurrently
+// with each other and with the receiver; phase 1 is not redone.
+func (s *System) Clone() *System {
+	return &System{
+		p:       s.p,
+		numVars: s.numVars,
+		cons:    s.cons,
+		inVars:  s.inVars,
+		sx:      s.sx.Clone(),
+	}
+}
+
+// resetFrom restores the clone's simplex to src's current basis without
+// allocating; see lp.Simplex.CopyFrom.
+func (s *System) resetFrom(src *System) error { return s.sx.CopyFrom(src.sx) }
+
 // WriteLP dumps the system with the given block weights as a CPLEX LP
 // file (via lp.WriteLP), for debugging or solving with an external
 // solver. Variables are named eN (edges), source and sink.

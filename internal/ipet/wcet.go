@@ -2,6 +2,8 @@ package ipet
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/absint"
 	"repro/internal/cache"
@@ -124,6 +126,13 @@ type FMMOptions struct {
 	// callers comparing mechanisms can compute them once and splice
 	// (core.AnalyzeAll does).
 	OnlyWholeSetColumn bool
+	// Workers bounds the number of goroutines solving per-set ILPs
+	// concurrently (sets are independent). 0 means GOMAXPROCS; 1 is
+	// fully sequential. The result is byte-identical for every worker
+	// count: each set's row is computed from a private simplex restored
+	// to the same pristine basis, so neither scheduling nor the number
+	// of workers can influence any pivot path.
+	Workers int
 }
 
 // ComputeFMM builds the fault miss map for every set and fault count
@@ -143,63 +152,121 @@ type FMMOptions struct {
 // already an always-miss). With the SRB, the set's fetch stream is served
 // by the one-block buffer: each reference costs at most one miss per
 // execution, and none if it is SRB-guaranteed (Section III.B.2).
+// The per-set work (a fixpoint reclassification plus up to W warm ILP
+// solves) fans out over a bounded worker pool (FMMOptions.Workers).
+// Every worker owns a clone of the system and restores it to sys's
+// pristine basis before each set, so FMM[s] is a pure function of
+// (sys, a, base, opt, s): the output is byte-identical whatever the
+// worker count or scheduling, and sys itself is never pivoted. On
+// error the lowest-numbered failing set's error is returned (the same
+// one the sequential loop would have hit first).
 func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptions) (FMM, error) {
 	cfg := a.Config()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+
 	fmm := make(FMM, cfg.Sets)
+	errs := make([]error, cfg.Sets)
+	if workers == 1 {
+		ws := sys.Clone()
+		for set := 0; set < cfg.Sets; set++ {
+			if fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set); errs[set] != nil {
+				return nil, errs[set]
+			}
+		}
+		return fmm, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := sys.Clone()
+			for set := range jobs {
+				fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set)
+			}
+		}()
+	}
 	for set := 0; set < cfg.Sets; set++ {
-		fmm[set] = make([]int64, cfg.Ways+1)
-		for f := 1; f <= cfg.Ways; f++ {
-			if f == cfg.Ways && opt.Mechanism == cache.MechanismRW {
-				// The reliable way guarantees at least one usable way;
-				// this column is never reached.
-				continue
-			}
-			if opt.OnlyWholeSetColumn && f < cfg.Ways {
-				continue
-			}
-			weights := make([]float64, len(sys.p.Blocks))
-			constant := 0.0
-			any := false
-			var deg []chmc.Class
-			switch {
-			case f < cfg.Ways:
-				deg = a.ClassifySet(set, cfg.Ways-f)
-			case opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB:
-				// Precise SRB: the buffer is a private 1-way cache.
-				deg = a.ClassifySRBForSet(set)
-			}
-			for _, r := range a.Refs() {
-				if r.Set != set {
-					continue
-				}
-				var pe, pc int64
-				if deg != nil {
-					pe, pc = refExtra(base[r.Global], deg[r.Global])
-				} else {
-					pe, pc = wholeSetExtra(r, base[r.Global], opt.Mechanism, opt.SRBHit)
-				}
-				if opt.ConservativeFM && pc < 0 {
-					pc = 0 // ablation: drop the first-miss credits
-				}
-				if pe != 0 {
-					weights[r.BB] += float64(pe)
-					any = true
-				}
-				constant += float64(pc)
-			}
-			if !any && constant <= 0 {
-				continue // no reference can suffer: bound is 0
-			}
-			res, err := sys.MaximizeBlockWeights(weights, constant)
-			if err != nil {
-				return nil, err
-			}
-			if v := int64(math.Round(res.Objective)); v > 0 {
-				fmm[set][f] = v
-			}
+		jobs <- set
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return fmm, nil
+}
+
+// computeFMMRow computes one set's FMM row on the worker's private
+// system ws, first restoring ws to pristine's basis so the row does not
+// depend on what ws solved before.
+func computeFMMRow(ws, pristine *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptions, set int) ([]int64, error) {
+	if err := ws.resetFrom(pristine); err != nil {
+		return nil, err
+	}
+	cfg := a.Config()
+	row := make([]int64, cfg.Ways+1)
+	for f := 1; f <= cfg.Ways; f++ {
+		if f == cfg.Ways && opt.Mechanism == cache.MechanismRW {
+			// The reliable way guarantees at least one usable way;
+			// this column is never reached.
+			continue
+		}
+		if opt.OnlyWholeSetColumn && f < cfg.Ways {
+			continue
+		}
+		weights := make([]float64, len(ws.p.Blocks))
+		constant := 0.0
+		any := false
+		var deg []chmc.Class
+		switch {
+		case f < cfg.Ways:
+			deg = a.ClassifySet(set, cfg.Ways-f)
+		case opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB:
+			// Precise SRB: the buffer is a private 1-way cache.
+			deg = a.ClassifySRBForSet(set)
+		}
+		for _, r := range a.Refs() {
+			if r.Set != set {
+				continue
+			}
+			var pe, pc int64
+			if deg != nil {
+				pe, pc = refExtra(base[r.Global], deg[r.Global])
+			} else {
+				pe, pc = wholeSetExtra(r, base[r.Global], opt.Mechanism, opt.SRBHit)
+			}
+			if opt.ConservativeFM && pc < 0 {
+				pc = 0 // ablation: drop the first-miss credits
+			}
+			if pe != 0 {
+				weights[r.BB] += float64(pe)
+				any = true
+			}
+			constant += float64(pc)
+		}
+		if !any && constant <= 0 {
+			continue // no reference can suffer: bound is 0
+		}
+		res, err := ws.MaximizeBlockWeights(weights, constant)
+		if err != nil {
+			return nil, err
+		}
+		if v := int64(math.Round(res.Objective)); v > 0 {
+			row[f] = v
+		}
+	}
+	return row, nil
 }
 
 // refExtra returns the (per-execution, per-run) extra miss counts of a

@@ -1,0 +1,50 @@
+package lp
+
+import "fmt"
+
+// Clone returns an independent deep copy of the simplex: a tableau in
+// the exact same state (basis, activity, feasibility) that can be
+// pivoted through Maximize without affecting the receiver. Cloning a
+// warm simplex is how callers fan one constraint system out over
+// worker goroutines: phase 1 runs once, every worker pivots its own
+// copy.
+func (s *Simplex) Clone() *Simplex {
+	c := &Simplex{
+		n:        s.n,
+		ncols:    s.ncols,
+		artStart: s.artStart,
+		rows:     make([][]float64, len(s.rows)),
+		rhs:      append([]float64(nil), s.rhs...),
+		basis:    append([]int(nil), s.basis...),
+		active:   append([]bool(nil), s.active...),
+		barred:   append([]bool(nil), s.barred...),
+		feasible: s.feasible,
+	}
+	for i, row := range s.rows {
+		c.rows[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// CopyFrom restores the receiver to src's exact state, reusing the
+// receiver's buffers (no allocation). Receiver and src must descend
+// from the same NewSimplex call — same constraint set, hence same
+// tableau shape; CopyFrom returns an error otherwise. Resetting a
+// worker's scratch simplex from a pristine source before each task is
+// what makes results independent of how tasks are distributed over
+// workers: every task starts its pivot path from the same basis.
+func (s *Simplex) CopyFrom(src *Simplex) error {
+	if s.n != src.n || s.ncols != src.ncols || len(s.rows) != len(src.rows) {
+		return fmt.Errorf("lp: CopyFrom across different tableau shapes (%dx%d vs %dx%d)",
+			len(s.rows), s.ncols, len(src.rows), src.ncols)
+	}
+	for i := range s.rows {
+		copy(s.rows[i], src.rows[i])
+	}
+	copy(s.rhs, src.rhs)
+	copy(s.basis, src.basis)
+	copy(s.active, src.active)
+	copy(s.barred, src.barred)
+	s.feasible = src.feasible
+	return nil
+}

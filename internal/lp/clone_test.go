@@ -1,0 +1,92 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// testSystem builds a small LP with an equality (so phase 1 runs) and a
+// bound constraint: maximize objectives over x0+x1 = 10, x0 <= 7.
+func testSystem(t *testing.T) *Simplex {
+	t.Helper()
+	sx, err := NewSimplex(2, []Constraint{
+		{Coefs: []Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, Op: EQ, RHS: 10},
+		{Coefs: []Coef{{Var: 0, Val: 1}}, Op: LE, RHS: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sx.Feasible() {
+		t.Fatal("test system infeasible")
+	}
+	return sx
+}
+
+func maximize(t *testing.T, sx *Simplex, obj []float64) float64 {
+	t.Helper()
+	sol, err := sx.Maximize(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	return sol.Obj
+}
+
+// TestCloneIndependent: pivoting a clone leaves the original's state
+// (and future solve results) untouched, and vice versa.
+func TestCloneIndependent(t *testing.T) {
+	orig := testSystem(t)
+	clone := orig.Clone()
+
+	// Drive the clone through a solve that pivots the basis.
+	if got := maximize(t, clone, []float64{3, 1}); math.Abs(got-3*7-1*3) > 1e-9 {
+		t.Fatalf("clone objective %g, want 24", got)
+	}
+	// The original still answers a different objective correctly.
+	if got := maximize(t, orig, []float64{0, 1}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("original objective %g, want 10", got)
+	}
+	// And the clone is not perturbed by the original's pivots.
+	if got := maximize(t, clone, []float64{3, 1}); math.Abs(got-24) > 1e-9 {
+		t.Fatalf("clone re-solve %g, want 24", got)
+	}
+}
+
+// TestCopyFromRestores: after arbitrary pivoting, CopyFrom resets a
+// scratch simplex to the pristine state, and subsequent solves agree
+// with a fresh clone's.
+func TestCopyFromRestores(t *testing.T) {
+	pristine := testSystem(t)
+	scratch := pristine.Clone()
+	maximize(t, scratch, []float64{5, 0}) // pivot away from the pristine basis
+
+	if err := scratch.CopyFrom(pristine); err != nil {
+		t.Fatal(err)
+	}
+	fresh := pristine.Clone()
+	objs := [][]float64{{1, 0}, {0, 1}, {2, 3}}
+	for _, obj := range objs {
+		a := maximize(t, scratch, obj)
+		b := maximize(t, fresh, obj)
+		if a != b {
+			t.Fatalf("restored scratch diverged from fresh clone on %v: %g vs %g", obj, a, b)
+		}
+	}
+}
+
+// TestCopyFromShapeMismatch: restoring across different constraint
+// systems is rejected.
+func TestCopyFromShapeMismatch(t *testing.T) {
+	a := testSystem(t)
+	b, err := NewSimplex(3, []Constraint{
+		{Coefs: []Coef{{Var: 2, Val: 1}}, Op: LE, RHS: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CopyFrom(b); err == nil {
+		t.Fatal("CopyFrom accepted a different tableau shape")
+	}
+}

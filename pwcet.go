@@ -24,6 +24,20 @@
 //
 // The paper's 25-benchmark Mälardalen evaluation is available through
 // Benchmarks and Benchmark; cmd/paperfigs regenerates every figure.
+//
+// # Parallelism and determinism
+//
+// The per-set stages of an analysis — the fault-miss-map ILP solves
+// and the penalty convolution — are independent across cache sets and
+// run on a bounded worker pool controlled by Options.Workers (0 uses
+// GOMAXPROCS, 1 forces fully sequential execution; cmd/pwcet exposes
+// it as -workers). The results are byte-identical for every worker
+// count: each set's ILPs are solved on a private simplex restored to
+// the same pristine basis, and the per-set distributions are reduced
+// by a pairwise tree whose shape depends only on the set count, so
+// neither goroutine scheduling nor pool size can influence any FMM
+// entry, distribution atom, or pWCET. Parallelism changes wall-clock
+// time, never results.
 package pwcet
 
 import (
