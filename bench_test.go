@@ -250,6 +250,71 @@ func BenchmarkAnalyzeWorkers(b *testing.B) {
 	}
 }
 
+// sweepPfails is the 10-point pfail sweep the session-reuse benchmarks
+// share (the resilience-roadmap range of the faultsweep example).
+var sweepPfails = []float64{6.1e-13, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 2.6e-4, 5e-4, 1e-3}
+
+// BenchmarkPfailSweepOneShot is the pre-session baseline: a 10-point
+// pfail sweep on the paper cache as 10 independent Analyze calls, each
+// re-running the fixpoints, the IPET system, the fault-free WCET and
+// every per-set FMM ILP solve.
+func BenchmarkPfailSweepOneShot(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	for i := 0; i < b.N; i++ {
+		for _, pf := range sweepPfails {
+			if _, err := pwcet.Analyze(p, pwcet.Options{Pfail: pf, Mechanism: pwcet.SRB, Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPfailSweepEngine is the same 10-point sweep as one
+// Engine.AnalyzeBatch (including the engine construction): the shared
+// artifacts are computed once and each sweep point only re-weights
+// probabilities and convolves. The acceptance bar of the session
+// redesign: at least 3x faster than BenchmarkPfailSweepOneShot, with
+// byte-identical results (asserted by TestEnginePfailSweepByteIdentical
+// in internal/core).
+func BenchmarkPfailSweepEngine(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	queries := make([]pwcet.Query, len(sweepPfails))
+	for i, pf := range sweepPfails {
+		queries[i] = pwcet.Query{Pfail: pf, Mechanism: pwcet.SRB}
+	}
+	for i := 0; i < b.N; i++ {
+		eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AnalyzeBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchGridEngine profiles the full evaluation grid of one
+// benchmark — 10 pfail points x 3 mechanisms — as a single engine
+// batch, the cmd/pwcet -batch workload.
+func BenchmarkBatchGridEngine(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	var queries []pwcet.Query
+	for _, pf := range sweepPfails {
+		for _, m := range []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB} {
+			queries = append(queries, pwcet.Query{Pfail: pf, Mechanism: m})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AnalyzeBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkConvolution profiles the 16-set penalty convolution with
 // coarsening, the final stage of the pipeline.
 func BenchmarkConvolution(b *testing.B) {

@@ -1,8 +1,10 @@
-// Command benchjson converts `go test -bench` text output (read from
-// stdin) into a JSON benchmark baseline (written to stdout), the
+// Command benchjson records and compares benchmark baselines.
+//
+// Record mode (default) converts `go test -bench` text output (read
+// from stdin) into a JSON benchmark baseline (written to stdout), the
 // format the CI perf-tracking step records as BENCH_<pr>.json:
 //
-//	go test -run '^$' -bench 'ComputeFMM|Convolve' . | benchjson -label pr2 > BENCH_pr2.json
+//	go test -run '^$' -bench 'Sweep' . | benchjson -label pr3 > BENCH_pr3.json
 //
 // Each benchmark line
 //
@@ -11,6 +13,19 @@
 // becomes one entry with the name, iteration count, ns/op, and any
 // further metric pairs (unit -> value). Context lines (goos, goarch,
 // pkg, cpu) are captured into the header.
+//
+// Compare mode diffs a freshly measured run against a committed
+// baseline and fails on regressions — CI's perf gate:
+//
+//	go test -run '^$' -bench '...' . | benchjson -compare BENCH_pr3.json -threshold 25
+//
+// Benchmarks are matched by name with the trailing GOMAXPROCS suffix
+// ("-8") stripped, so baselines recorded on machines with different
+// core counts still compare. The exit status is 1 when any benchmark
+// present in both runs slowed down by more than the threshold
+// percentage of ns/op, or when the two runs share no benchmark at all
+// (a misconfigured gate must not pass vacuously); benchmarks that
+// appear on only one side are reported but do not fail the gate.
 package main
 
 import (
@@ -18,9 +33,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Baseline is the serialized benchmark record.
@@ -39,20 +57,54 @@ type Result struct {
 }
 
 func main() {
-	label := flag.String("label", "", "baseline label recorded in the output (e.g. pr2)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	base, err := parse(bufio.NewScanner(os.Stdin), *label)
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "baseline label recorded in the output (e.g. pr3)")
+	compare := fs.String("compare", "", "baseline JSON file to compare stdin against (compare mode)")
+	threshold := fs.Float64("threshold", 25, "compare mode: maximum tolerated ns/op regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected arguments %q\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(stderr, "benchjson: -threshold %g must be positive\n", *threshold)
+		fs.Usage()
+		return 2
+	}
+
+	current, err := parse(bufio.NewScanner(stdin), *label)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
-	enc := json.NewEncoder(os.Stdout)
+
+	if *compare != "" {
+		ok, err := compareBaselines(stdout, *compare, current, *threshold)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if err := enc.Encode(current); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
+	return 0
 }
 
 // parse consumes go test -bench output line by line.
@@ -111,4 +163,79 @@ func parseBenchLine(line string) (Result, error) {
 		r.Metrics[unit] = val
 	}
 	return r, nil
+}
+
+// procSuffix matches the trailing "-P" GOMAXPROCS suffix of a
+// benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix so runs from machines
+// with different core counts compare by benchmark identity.
+func normalizeName(name string) string {
+	return procSuffix.ReplaceAllString(name, "")
+}
+
+// compareBaselines diffs current against the baseline file and prints
+// a per-benchmark table. It returns ok = false when any shared
+// benchmark regressed beyond the threshold (in percent of the
+// baseline's ns/op) or when no benchmark is shared at all.
+func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, threshold float64) (bool, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	baseline := &Baseline{}
+	if err := json.Unmarshal(raw, baseline); err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	ref := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		ref[normalizeName(r.Name)] = r
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tbaseline ns/op\tcurrent ns/op\tdelta\tstatus\t\n")
+	shared, regressions := 0, 0
+	seen := make(map[string]bool, len(current.Results))
+	for _, cur := range current.Results {
+		name := normalizeName(cur.Name)
+		seen[name] = true
+		base, ok := ref[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\tnew\t\n", name, cur.NsPerOp)
+			continue
+		}
+		shared++
+		if base.NsPerOp <= 0 {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t-\tskipped (zero baseline)\t\n", name, base.NsPerOp, cur.NsPerOp)
+			continue
+		}
+		delta := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+		status := "ok"
+		if delta > threshold {
+			status = fmt.Sprintf("REGRESSION (> %g%%)", threshold)
+			regressions++
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t\n", name, base.NsPerOp, cur.NsPerOp, delta, status)
+	}
+	for _, r := range baseline.Results {
+		if name := normalizeName(r.Name); !seen[name] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\tmissing from current run\t\n", name, r.NsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return false, err
+	}
+
+	switch {
+	case shared == 0:
+		fmt.Fprintf(stdout, "no shared benchmarks between %s and the current run — the gate cannot pass vacuously\n", baselinePath)
+		return false, nil
+	case regressions > 0:
+		fmt.Fprintf(stdout, "%d of %d shared benchmarks regressed beyond %g%%\n", regressions, shared, threshold)
+		return false, nil
+	default:
+		fmt.Fprintf(stdout, "all %d shared benchmarks within %g%% of %s\n", shared, threshold, baselinePath)
+		return true, nil
+	}
 }

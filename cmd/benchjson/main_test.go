@@ -2,6 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,5 +54,136 @@ func TestParseRejectsEmpty(t *testing.T) {
 func TestParseRejectsMalformed(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX 12 bogus\n")), ""); err == nil {
 		t.Fatal("malformed line accepted")
+	}
+}
+
+// runCmd executes run with the given stdin and captured output.
+func runCmd(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeBaseline records the sample run into a baseline file, scaling
+// every ns/op by the factor (so tests can fabricate faster/slower
+// baselines from one source of truth).
+func writeBaseline(t *testing.T, scale float64) string {
+	t.Helper()
+	base, err := parse(bufio.NewScanner(strings.NewReader(sample)), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		base.Results[i].NsPerOp *= scale
+		// Fabricate a different GOMAXPROCS suffix: comparisons must
+		// match names across machines with different core counts.
+		base.Results[i].Name = strings.TrimSuffix(base.Results[i].Name, "-8") + "-4"
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRecordModeWritesJSON(t *testing.T) {
+	code, stdout, stderr := runCmd(t, sample, "-label", "pr3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	base := &Baseline{}
+	if err := json.Unmarshal([]byte(stdout), base); err != nil {
+		t.Fatalf("unparseable output: %v", err)
+	}
+	if base.Label != "pr3" || len(base.Results) != 3 {
+		t.Errorf("recorded baseline %+v", base)
+	}
+}
+
+// TestCompareWithinThreshold: identical numbers (modulo the GOMAXPROCS
+// suffix) pass the gate.
+func TestCompareWithinThreshold(t *testing.T) {
+	code, stdout, stderr := runCmd(t, sample, "-compare", writeBaseline(t, 1.0))
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "all 3 shared benchmarks within 25%") {
+		t.Errorf("missing pass summary:\n%s", stdout)
+	}
+}
+
+// TestCompareFlagsRegression: a current run more than threshold slower
+// than the baseline fails with exit 1 and names the offender.
+func TestCompareFlagsRegression(t *testing.T) {
+	// Baseline 2x faster than the current numbers = +100% regression.
+	code, stdout, _ := runCmd(t, sample, "-compare", writeBaseline(t, 0.5))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSION") || !strings.Contains(stdout, "3 of 3 shared benchmarks regressed") {
+		t.Errorf("missing regression report:\n%s", stdout)
+	}
+
+	// The same run passes with a generous threshold.
+	code, _, _ = runCmd(t, sample, "-compare", writeBaseline(t, 0.5), "-threshold", "150")
+	if code != 0 {
+		t.Errorf("threshold 150%% still failed (exit %d)", code)
+	}
+
+	// Improvements never fail, whatever their size.
+	code, stdout, _ = runCmd(t, sample, "-compare", writeBaseline(t, 100))
+	if code != 0 {
+		t.Errorf("improvement flagged as regression (exit %d):\n%s", code, stdout)
+	}
+}
+
+// TestCompareNoOverlapFails: a baseline with disjoint benchmark names
+// must not pass vacuously.
+func TestCompareNoOverlapFails(t *testing.T) {
+	other := `BenchmarkSomethingElse-8 10 12345 ns/op` + "\n"
+	base, err := parse(bufio.NewScanner(strings.NewReader(other)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(base)
+	path := filepath.Join(t.TempDir(), "disjoint.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCmd(t, sample, "-compare", path)
+	if code != 1 {
+		t.Fatalf("disjoint compare exited %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no shared benchmarks") {
+		t.Errorf("missing no-overlap diagnosis:\n%s", stdout)
+	}
+}
+
+// TestCompareErrors covers the failure paths: missing baseline file,
+// corrupt baseline, bad flags.
+func TestCompareErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, sample, "-compare", "/nonexistent.json"); code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, sample, "-compare", path); code != 1 {
+		t.Errorf("corrupt baseline: exit %d, want 1", code)
+	}
+	if code, _, _ := runCmd(t, sample, "-threshold", "-5"); code != 2 {
+		t.Errorf("negative threshold: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, sample, "positional"); code != 2 {
+		t.Errorf("positional args: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "PASS\n"); code != 1 {
+		t.Errorf("empty bench input: exit %d, want 1", code)
 	}
 }

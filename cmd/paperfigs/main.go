@@ -11,6 +11,11 @@
 // and the exceedance target (default 1e-15); -workers bounds the
 // goroutines used across benchmarks and inside each analysis
 // (0 = GOMAXPROCS). The figures are identical for every worker count.
+//
+// Every figure runs on the session API: one pwcet.Engine per benchmark
+// evaluates its whole query grid (mechanisms, pfail points) with the
+// cache fixpoints, IPET system and per-set FMM solves shared across
+// sweep points instead of recomputed per configuration.
 package main
 
 import (
@@ -79,13 +84,27 @@ func motivation(name string, target float64) {
 	if err != nil {
 		fatal(err)
 	}
-	rows := [][]string{}
-	for _, pf := range []float64{1e-7, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3} {
-		results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pf, TargetExceedance: target, Workers: workers})
-		if err != nil {
-			fatal(err)
+	// One engine, one batch: the 6x3 grid shares every fixpoint and ILP
+	// solve; each point only re-weights probabilities and convolves.
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	pfails := []float64{1e-7, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3}
+	mechs := []pwcet.Mechanism{pwcet.None, pwcet.SRB, pwcet.RW}
+	var queries []pwcet.Query
+	for _, pf := range pfails {
+		for _, m := range mechs {
+			queries = append(queries, pwcet.Query{Pfail: pf, Mechanism: m, TargetExceedance: target})
 		}
-		none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
+	}
+	results, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		fatal(err)
+	}
+	rows := [][]string{}
+	for i, pf := range pfails {
+		none, srb, rw := results[3*i], results[3*i+1], results[3*i+2]
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0e", pf),
 			fmt.Sprintf("%.3f", norm(none.PWCET, none.FaultFreeWCET)),
@@ -152,11 +171,23 @@ func fig3(name string, pfail, target float64) {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target, Workers: workers})
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: workers})
 	if err != nil {
 		fatal(err)
 	}
 	order := []pwcet.Mechanism{pwcet.None, pwcet.SRB, pwcet.RW}
+	queries := make([]pwcet.Query, len(order))
+	for i, m := range order {
+		queries[i] = pwcet.Query{Pfail: pfail, Mechanism: m, TargetExceedance: target}
+	}
+	batch, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		fatal(err)
+	}
+	results := make(map[pwcet.Mechanism]*pwcet.Result, len(order))
+	for i, m := range order {
+		results[m] = batch[i]
+	}
 	fmt.Println("mechanism,wcet_cycles,exceedance_probability")
 	for _, m := range order {
 		r := results[m]
@@ -219,8 +250,8 @@ func computeFig4(pfail, target float64) []benchRow {
 	names := pwcet.Benchmarks()
 	rows := make([]benchRow, len(names))
 	// The 75 analyses are independent; run them on the bounded worker
-	// pool (each analysis stays sequential inside: the outer fan-out
-	// already saturates the pool).
+	// pool (each benchmark's engine stays sequential inside: the outer
+	// fan-out already saturates the pool).
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	var firstErr error
@@ -232,10 +263,18 @@ func computeFig4(pfail, target float64) []benchRow {
 			for i := range jobs {
 				p, err := pwcet.Benchmark(names[i])
 				if err == nil {
-					var results map[pwcet.Mechanism]*pwcet.Result
-					results, err = pwcet.AnalyzeAll(p, pwcet.Options{Pfail: pfail, TargetExceedance: target, Workers: 1})
+					var results []*pwcet.Result
+					var eng *pwcet.Engine
+					eng, err = pwcet.NewEngine(p, pwcet.EngineOptions{Workers: 1})
 					if err == nil {
-						none, rw, srb := results[pwcet.None], results[pwcet.RW], results[pwcet.SRB]
+						results, err = eng.AnalyzeBatch([]pwcet.Query{
+							{Pfail: pfail, Mechanism: pwcet.None, TargetExceedance: target},
+							{Pfail: pfail, Mechanism: pwcet.RW, TargetExceedance: target},
+							{Pfail: pfail, Mechanism: pwcet.SRB, TargetExceedance: target},
+						})
+					}
+					if err == nil {
+						none, rw, srb := results[0], results[1], results[2]
 						rows[i] = benchRow{
 							name:    names[i],
 							ff:      none.FaultFreeWCET,

@@ -1,21 +1,46 @@
-// Command pwcet analyzes one benchmark of the Mälardalen-like suite and
-// reports its probabilistic WCET under a chosen reliability mechanism.
+// Command pwcet analyzes benchmarks of the Mälardalen-like suite and
+// reports their probabilistic WCET under the paper's reliability
+// mechanisms. Single-benchmark analyses and whole-suite summaries run
+// on a shared-work analysis session (pwcet.Engine); -batch runs a full
+// sweep specification (benchmarks x pfails x mechanisms x targets)
+// through Engine.AnalyzeBatch.
 //
 //	pwcet -list
 //	pwcet -all
 //	pwcet -bench adpcm
 //	pwcet -bench matmult -mech all -pfail 1e-3
 //	pwcet -bench crc -mech srb -curve
+//	pwcet -bench crc -mech srb -curve -json
 //	pwcet -bench bs -mech rw -fmm
 //	pwcet -bench adpcm -classes
 //	pwcet -bench fibcall -mech none -validate 200
 //	pwcet -all -workers 8
+//	pwcet -batch sweep.json
+//	pwcet -batch sweep.json -json
+//
+// The -batch specification is JSON:
+//
+//	{
+//	  "benchmarks": ["adpcm", "crc"],          // omitted = whole suite
+//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // required, non-empty
+//	  "mechanisms": ["none", "rw", "srb"],     // omitted = all three
+//	  "targets": [1e-15],                      // omitted = [1e-15]
+//	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
+//	            "hit_latency": 1, "mem_latency": 100}, // omitted = paper cache
+//	  "max_support": 4096                      // omitted = default
+//	}
+//
+// Each benchmark's queries share one engine: the cache fixpoints, the
+// IPET system, the fault-free WCET and the per-set FMM ILP solves are
+// computed once per (cache, mechanism) and reused by every sweep point.
 //
 // Invalid flags or flag combinations exit with status 2 after a usage
 // message; analysis failures exit with status 1.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,10 +63,12 @@ func main() {
 type config struct {
 	list, all bool
 	bench     string
+	batch     string
 	mechs     []pwcet.Mechanism
 	pfail     float64
 	target    float64
 	workers   int
+	jsonOut   bool
 	curve     bool
 	fmm       bool
 	classes   bool
@@ -61,11 +88,13 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&c.list, "list", false, "list available benchmarks and exit")
 	fs.BoolVar(&c.all, "all", false, "analyze the whole suite and print a summary table")
 	fs.StringVar(&c.bench, "bench", "", "benchmark name (see -list)")
+	fs.StringVar(&c.batch, "batch", "", "JSON sweep specification file (see package doc)")
 	fs.StringVar(&mech, "mech", "all", "reliability mechanism: none, rw, srb or all")
 	fs.Float64Var(&c.pfail, "pfail", 1e-4, "per-bit permanent failure probability, in [0,1]")
 	fs.Float64Var(&c.target, "target", 1e-15, "target exceedance probability, in (0,1)")
-	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages (0 = GOMAXPROCS)")
-	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve as CSV")
+	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages and batch scheduling (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON (with -bench or -batch)")
+	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve")
 	fs.BoolVar(&c.fmm, "fmm", false, "print the fault miss map")
 	fs.BoolVar(&c.classes, "classes", false, "print the per-reference CHMC summary")
 	fs.BoolVar(&c.precise, "precise", false, "enable the precise SRB analysis (mixture bound; srb only)")
@@ -73,6 +102,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	usage := func(format string, a ...any) error {
 		err := fmt.Errorf(format, a...)
@@ -104,10 +135,20 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		}
 		c.mechs = []pwcet.Mechanism{m}
 	}
-	if c.list || c.all {
-		if c.bench != "" {
-			return nil, usage("-bench cannot be combined with -list or -all")
+
+	modes := 0
+	for _, set := range []bool{c.list, c.all, c.bench != "", c.batch != ""} {
+		if set {
+			modes++
 		}
+	}
+	if modes > 1 {
+		return nil, usage("-list, -all, -bench and -batch are mutually exclusive")
+	}
+	if modes == 0 {
+		return nil, usage("-bench, -batch, -all or -list required")
+	}
+	if c.list || c.all || c.batch != "" {
 		benchOnly := []struct {
 			name string
 			set  bool
@@ -120,13 +161,35 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 				return nil, usage("%s requires -bench", f.name)
 			}
 		}
+		if c.jsonOut && (c.list || c.all) {
+			return nil, usage("-json requires -bench or -batch")
+		}
+		if c.batch != "" {
+			// The sweep specification owns these axes; silently dropping
+			// an explicit flag would mislead.
+			for _, name := range []string{"pfail", "target", "mech"} {
+				if explicit[name] {
+					return nil, usage("-%s cannot be combined with -batch (set it in the spec)", name)
+				}
+			}
+		}
 		return c, nil
-	}
-	if c.bench == "" {
-		return nil, usage("-bench or -list required")
 	}
 	if _, err := pwcet.Benchmark(c.bench); err != nil {
 		return nil, usage("%v (see -list)", err)
+	}
+	if c.jsonOut {
+		// The JSON report carries the analysis results and optional
+		// curve; the remaining sections are text-only and would be
+		// silently dropped — reject instead of misleading.
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{{"-fmm", c.fmm}, {"-classes", c.classes}, {"-validate", c.validate > 0}} {
+			if f.set {
+				return nil, usage("%s is not available with -json", f.name)
+			}
+		}
 	}
 	return c, nil
 }
@@ -139,46 +202,107 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return 2
 	}
-	if c.list {
+	switch {
+	case c.list:
 		for _, n := range pwcet.Benchmarks() {
 			p := malardalen.MustGet(n)
 			fmt.Fprintf(stdout, "%-14s %6d bytes  %4d blocks  %3d loops\n",
 				n, p.CodeBytes(), len(p.Blocks), len(p.Loops))
 		}
 		return 0
+	case c.all:
+		err = analyzeAll(stdout, c)
+	case c.batch != "":
+		err = runBatch(stdout, c)
+	default:
+		err = analyzeBench(stdout, c)
 	}
-	if c.all {
-		if err := analyzeAll(stdout, c); err != nil {
-			fmt.Fprintln(stderr, "pwcet:", err)
-			return 1
-		}
-		return 0
-	}
-	if err := analyzeBench(stdout, c); err != nil {
+	if err != nil {
 		fmt.Fprintln(stderr, "pwcet:", err)
 		return 1
 	}
 	return 0
 }
 
-// analyzeBench analyzes one benchmark under the selected mechanisms.
+// benchJSON is the machine-readable single-benchmark report.
+type benchJSON struct {
+	Benchmark  string          `json:"benchmark"`
+	Cache      cacheJSON       `json:"cache"`
+	Pfail      float64         `json:"pfail"`
+	PBF        float64         `json:"pbf"`
+	Target     float64         `json:"target"`
+	HitRefs    int             `json:"hit_refs"`
+	FMRefs     int             `json:"fm_refs"`
+	MissRefs   int             `json:"miss_refs"`
+	Mechanisms []mechanismJSON `json:"mechanisms"`
+}
+
+// mechanismJSON is one mechanism's outcome.
+type mechanismJSON struct {
+	Mechanism     string       `json:"mechanism"`
+	FaultFreeWCET int64        `json:"fault_free_wcet"`
+	PWCET         int64        `json:"pwcet"`
+	MaxPenalty    int64        `json:"max_penalty"`
+	Curve         []curvePoint `json:"curve,omitempty"`
+}
+
+// curvePoint is one atom of the exceedance curve.
+type curvePoint struct {
+	WCET       int64   `json:"wcet_cycles"`
+	Exceedance float64 `json:"exceedance"`
+}
+
+// cacheJSON mirrors pwcet.CacheConfig with stable JSON names (also the
+// -batch specification's cache object).
+type cacheJSON struct {
+	Sets       int   `json:"sets"`
+	Ways       int   `json:"ways"`
+	BlockBytes int   `json:"block_bytes"`
+	HitLatency int64 `json:"hit_latency"`
+	MemLatency int64 `json:"mem_latency"`
+}
+
+func cacheToJSON(c pwcet.CacheConfig) cacheJSON {
+	return cacheJSON{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
+		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
+}
+
+func (c cacheJSON) config() pwcet.CacheConfig {
+	return pwcet.CacheConfig{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
+		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
+}
+
+// analyzeBench analyzes one benchmark under the selected mechanisms on
+// one shared-work engine.
 func analyzeBench(stdout io.Writer, c *config) error {
 	p, err := pwcet.Benchmark(c.bench)
 	if err != nil {
 		return err
 	}
-
-	opt := pwcet.Options{Pfail: c.pfail, TargetExceedance: c.target, Workers: c.workers}
-	results := make(map[pwcet.Mechanism]*core.Result, len(c.mechs))
-	for _, m := range c.mechs {
-		o := opt
-		o.Mechanism = m
-		o.PreciseSRB = c.precise && m == pwcet.SRB
-		r, err := pwcet.Analyze(p, o)
-		if err != nil {
-			return err
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: c.workers})
+	if err != nil {
+		return err
+	}
+	queries := make([]pwcet.Query, len(c.mechs))
+	for i, m := range c.mechs {
+		queries[i] = pwcet.Query{
+			Pfail:            c.pfail,
+			Mechanism:        m,
+			TargetExceedance: c.target,
+			PreciseSRB:       c.precise && m == pwcet.SRB,
 		}
-		results[m] = r
+	}
+	batch, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		return err
+	}
+	results := make(map[pwcet.Mechanism]*core.Result, len(c.mechs))
+	for i, m := range c.mechs {
+		results[m] = batch[i]
+	}
+
+	if c.jsonOut {
+		return writeBenchJSON(stdout, c, results)
 	}
 
 	first := results[c.mechs[0]]
@@ -234,6 +358,176 @@ func analyzeBench(stdout io.Writer, c *config) error {
 		}
 	}
 	return nil
+}
+
+// writeBenchJSON emits the single-benchmark report as JSON.
+func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*core.Result) error {
+	first := results[c.mechs[0]]
+	rep := benchJSON{
+		Benchmark: c.bench,
+		Cache:     cacheToJSON(first.Options.Cache),
+		Pfail:     c.pfail,
+		PBF:       first.Model.PBF,
+		Target:    c.target,
+		HitRefs:   first.HitRefs,
+		FMRefs:    first.FMRefs,
+		MissRefs:  first.MissRefs,
+	}
+	for _, m := range c.mechs {
+		r := results[m]
+		mj := mechanismJSON{
+			Mechanism:     m.String(),
+			FaultFreeWCET: r.FaultFreeWCET,
+			PWCET:         r.PWCET,
+			MaxPenalty:    r.Penalty.Max(),
+		}
+		if c.curve {
+			for _, pt := range r.ExceedanceCurve() {
+				mj.Curve = append(mj.Curve, curvePoint{WCET: pt.Value, Exceedance: pt.Prob})
+			}
+		}
+		rep.Mechanisms = append(rep.Mechanisms, mj)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// batchSpec is the JSON sweep specification of -batch.
+type batchSpec struct {
+	Benchmarks []string   `json:"benchmarks"`
+	Pfails     []float64  `json:"pfails"`
+	Mechanisms []string   `json:"mechanisms"`
+	Targets    []float64  `json:"targets"`
+	Cache      *cacheJSON `json:"cache"`
+	MaxSupport int        `json:"max_support"`
+}
+
+// batchRow is one sweep point's outcome (also the -json row format).
+type batchRow struct {
+	Benchmark     string  `json:"benchmark"`
+	Pfail         float64 `json:"pfail"`
+	Mechanism     string  `json:"mechanism"`
+	Target        float64 `json:"target"`
+	FaultFreeWCET int64   `json:"fault_free_wcet"`
+	PWCET         int64   `json:"pwcet"`
+}
+
+// loadBatchSpec reads and validates the sweep specification.
+func loadBatchSpec(path string) (*batchSpec, []pwcet.Mechanism, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := &batchSpec{}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
+	}
+	if len(spec.Pfails) == 0 {
+		return nil, nil, fmt.Errorf("batch spec %s: pfails must be non-empty", path)
+	}
+	for _, pf := range spec.Pfails {
+		if pf < 0 || pf > 1 || math.IsNaN(pf) {
+			return nil, nil, fmt.Errorf("batch spec %s: pfail %g outside [0,1]", path, pf)
+		}
+	}
+	if len(spec.Targets) == 0 {
+		spec.Targets = []float64{pwcet.DefaultTargetExceedance}
+	}
+	for _, tg := range spec.Targets {
+		if tg <= 0 || tg >= 1 || math.IsNaN(tg) {
+			return nil, nil, fmt.Errorf("batch spec %s: target %g outside (0,1)", path, tg)
+		}
+	}
+	if spec.MaxSupport != 0 && spec.MaxSupport < 2 {
+		return nil, nil, fmt.Errorf("batch spec %s: max_support %d: need at least 2 support points (or 0 for the default)", path, spec.MaxSupport)
+	}
+	if len(spec.Benchmarks) == 0 {
+		spec.Benchmarks = pwcet.Benchmarks()
+	}
+	for _, name := range spec.Benchmarks {
+		if _, err := pwcet.Benchmark(name); err != nil {
+			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
+		}
+	}
+	if len(spec.Mechanisms) == 0 {
+		spec.Mechanisms = []string{"none", "rw", "srb"}
+	}
+	mechs := make([]pwcet.Mechanism, len(spec.Mechanisms))
+	for i, s := range spec.Mechanisms {
+		m, err := pwcet.ParseMechanism(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
+		}
+		mechs[i] = m
+	}
+	return spec, mechs, nil
+}
+
+// runBatch executes the sweep specification: one engine per benchmark,
+// the full (pfail x mechanism x target) grid as one batch each.
+func runBatch(stdout io.Writer, c *config) error {
+	spec, mechs, err := loadBatchSpec(c.batch)
+	if err != nil {
+		return err
+	}
+	var cacheCfg pwcet.CacheConfig
+	if spec.Cache != nil {
+		cacheCfg = spec.Cache.config()
+	}
+
+	var rows []batchRow
+	for _, name := range spec.Benchmarks {
+		p := malardalen.MustGet(name)
+		eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: c.workers})
+		if err != nil {
+			return err
+		}
+		var queries []pwcet.Query
+		for _, pf := range spec.Pfails {
+			for _, m := range mechs {
+				for _, tg := range spec.Targets {
+					queries = append(queries, pwcet.Query{
+						Cache:            cacheCfg,
+						Pfail:            pf,
+						Mechanism:        m,
+						TargetExceedance: tg,
+						MaxSupport:       spec.MaxSupport,
+					})
+				}
+			}
+		}
+		results, err := eng.AnalyzeBatch(queries)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for i, q := range queries {
+			rows = append(rows, batchRow{
+				Benchmark:     name,
+				Pfail:         q.Pfail,
+				Mechanism:     q.Mechanism.String(),
+				Target:        q.TargetExceedance,
+				FaultFreeWCET: results[i].FaultFreeWCET,
+				PWCET:         results[i].PWCET,
+			})
+		}
+	}
+
+	if c.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\tpfail\tmechanism\ttarget\tfault-free\tpWCET\tratio\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3g\t%s\t%g\t%d\t%d\t%.3f\t\n",
+			r.Benchmark, r.Pfail, r.Mechanism, r.Target, r.FaultFreeWCET, r.PWCET,
+			float64(r.PWCET)/float64(r.FaultFreeWCET))
+	}
+	return tw.Flush()
 }
 
 // analyzeAll prints the whole-suite summary (one line per benchmark).

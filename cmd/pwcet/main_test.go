@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	pwcet "repro"
 )
 
 // runCmd executes run with captured output.
@@ -23,7 +28,7 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		args []string
 		want string // substring expected on stderr
 	}{
-		{"no args", nil, "-bench or -list required"},
+		{"no args", nil, "-bench, -batch, -all or -list required"},
 		{"bad mechanism", []string{"-bench", "bs", "-mech", "bogus"}, "unknown mechanism"},
 		{"pfail above 1", []string{"-bench", "bs", "-pfail", "1.5"}, "outside [0,1]"},
 		{"pfail negative", []string{"-bench", "bs", "-pfail", "-0.1"}, "outside [0,1]"},
@@ -34,9 +39,19 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		{"unknown benchmark", []string{"-bench", "nope"}, "see -list"},
 		{"unknown flag", []string{"-wat"}, "flag provided but not defined"},
 		{"positional junk", []string{"-list", "extra"}, "unexpected arguments"},
-		{"list plus bench", []string{"-list", "-bench", "bs"}, "cannot be combined"},
+		{"list plus bench", []string{"-list", "-bench", "bs"}, "mutually exclusive"},
+		{"batch plus bench", []string{"-batch", "x.json", "-bench", "bs"}, "mutually exclusive"},
 		{"all plus curve", []string{"-all", "-curve"}, "requires -bench"},
 		{"all plus validate", []string{"-all", "-validate", "10"}, "requires -bench"},
+		{"batch plus fmm", []string{"-batch", "x.json", "-fmm"}, "requires -bench"},
+		{"batch plus pfail", []string{"-batch", "x.json", "-pfail", "1e-3"}, "cannot be combined with -batch"},
+		{"batch plus mech", []string{"-batch", "x.json", "-mech", "srb"}, "cannot be combined with -batch"},
+		{"batch plus target", []string{"-batch", "x.json", "-target", "1e-9"}, "cannot be combined with -batch"},
+		{"list plus json", []string{"-list", "-json"}, "requires -bench or -batch"},
+		{"all plus json", []string{"-all", "-json"}, "requires -bench or -batch"},
+		{"json plus validate", []string{"-bench", "bs", "-json", "-validate", "10"}, "not available with -json"},
+		{"json plus fmm", []string{"-bench", "bs", "-json", "-fmm"}, "not available with -json"},
+		{"json plus classes", []string{"-bench", "bs", "-json", "-classes"}, "not available with -json"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -89,5 +104,200 @@ func TestWorkersFlagDoesNotChangeOutput(t *testing.T) {
 		if got != ref {
 			t.Errorf("-workers %s changed the output:\n--- workers=1\n%s\n--- workers=%s\n%s", w, ref, w, got)
 		}
+	}
+}
+
+// TestJSONOutput: -json emits a parseable report whose numbers match
+// the text mode's analysis, including the exceedance curve with -curve.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-bench", "bs", "-mech", "all", "-curve", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var rep struct {
+		Benchmark string  `json:"benchmark"`
+		Pfail     float64 `json:"pfail"`
+		PBF       float64 `json:"pbf"`
+		Target    float64 `json:"target"`
+		Cache     struct {
+			Sets int `json:"sets"`
+			Ways int `json:"ways"`
+		} `json:"cache"`
+		Mechanisms []struct {
+			Mechanism     string `json:"mechanism"`
+			FaultFreeWCET int64  `json:"fault_free_wcet"`
+			PWCET         int64  `json:"pwcet"`
+			Curve         [][2]float64
+			RawCurve      []struct {
+				WCET       int64   `json:"wcet_cycles"`
+				Exceedance float64 `json:"exceedance"`
+			} `json:"curve"`
+		} `json:"mechanisms"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("unparseable -json output: %v\n%s", err, stdout)
+	}
+	if rep.Benchmark != "bs" || rep.Pfail != 1e-4 || rep.Target != 1e-15 {
+		t.Errorf("header fields wrong: %+v", rep)
+	}
+	if rep.Cache.Sets != 16 || rep.Cache.Ways != 4 {
+		t.Errorf("cache fields wrong: %+v", rep.Cache)
+	}
+	if len(rep.Mechanisms) != 3 {
+		t.Fatalf("%d mechanisms, want 3", len(rep.Mechanisms))
+	}
+	for _, m := range rep.Mechanisms {
+		if m.PWCET < m.FaultFreeWCET || m.FaultFreeWCET <= 0 {
+			t.Errorf("%s: implausible WCETs %d/%d", m.Mechanism, m.FaultFreeWCET, m.PWCET)
+		}
+		if len(m.RawCurve) == 0 {
+			t.Errorf("%s: -curve requested but curve empty", m.Mechanism)
+		}
+	}
+
+	// Without -curve the curve field is omitted.
+	_, stdout, _ = runCmd(t, "-bench", "bs", "-mech", "rw", "-json")
+	if strings.Contains(stdout, "\"curve\"") {
+		t.Errorf("curve present without -curve:\n%s", stdout)
+	}
+}
+
+// writeSpec writes a batch specification to a temp file.
+func writeSpec(t *testing.T, spec string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBatchSweep: a -batch run covers the full benchmark x pfail x
+// mechanism x target grid, in spec order, and its JSON rows agree with
+// independent one-shot analyses.
+func TestBatchSweep(t *testing.T) {
+	spec := `{
+		"benchmarks": ["bs", "fibcall"],
+		"pfails": [1e-5, 1e-3],
+		"mechanisms": ["none", "srb"],
+		"targets": [1e-9, 1e-15]
+	}`
+	code, stdout, stderr := runCmd(t, "-batch", writeSpec(t, spec), "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var rows []struct {
+		Benchmark     string  `json:"benchmark"`
+		Pfail         float64 `json:"pfail"`
+		Mechanism     string  `json:"mechanism"`
+		Target        float64 `json:"target"`
+		FaultFreeWCET int64   `json:"fault_free_wcet"`
+		PWCET         int64   `json:"pwcet"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rows); err != nil {
+		t.Fatalf("unparseable batch JSON: %v\n%s", err, stdout)
+	}
+	if len(rows) != 2*2*2*2 {
+		t.Fatalf("%d rows, want 16", len(rows))
+	}
+	if rows[0].Benchmark != "bs" || rows[8].Benchmark != "fibcall" {
+		t.Errorf("row order does not follow the spec: %+v, %+v", rows[0], rows[8])
+	}
+	for _, r := range rows {
+		p, err := pwcet.Benchmark(r.Benchmark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pwcet.ParseMechanism(r.Mechanism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := pwcet.Analyze(p, pwcet.Options{
+			Pfail: r.Pfail, Mechanism: m, TargetExceedance: r.Target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo.PWCET != r.PWCET || solo.FaultFreeWCET != r.FaultFreeWCET {
+			t.Errorf("%s %s pfail=%g target=%g: batch (%d, %d) != one-shot (%d, %d)",
+				r.Benchmark, r.Mechanism, r.Pfail, r.Target,
+				r.FaultFreeWCET, r.PWCET, solo.FaultFreeWCET, solo.PWCET)
+		}
+	}
+
+	// Text mode renders the same sweep as a table.
+	code, stdout, stderr = runCmd(t, "-batch", writeSpec(t, spec))
+	if code != 0 {
+		t.Fatalf("text mode exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "benchmark") || !strings.Contains(stdout, "fibcall") {
+		t.Errorf("batch table incomplete:\n%s", stdout)
+	}
+}
+
+// TestBatchSpecValidation: malformed specifications fail with a clear
+// error and exit status 1.
+func TestBatchSpecValidation(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"no pfails", `{"benchmarks": ["bs"]}`, "pfails must be non-empty"},
+		{"bad pfail", `{"pfails": [2]}`, "outside [0,1]"},
+		{"bad target", `{"pfails": [1e-4], "targets": [0]}`, "outside (0,1)"},
+		{"bad mechanism", `{"pfails": [1e-4], "mechanisms": ["bogus"]}`, "unknown mechanism"},
+		{"bad benchmark", `{"pfails": [1e-4], "benchmarks": ["nope"]}`, "unknown benchmark"},
+		{"bad max_support", `{"pfails": [1e-4], "max_support": 1}`, "at least 2 support points"},
+		{"unknown field", `{"pfails": [1e-4], "wat": 1}`, "unknown field"},
+		{"syntax", `{`, "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, "-batch", writeSpec(t, tc.spec))
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+	if code, _, _ := runCmd(t, "-batch", "/nonexistent/spec.json"); code != 1 {
+		t.Errorf("missing spec file: exit %d, want 1", code)
+	}
+}
+
+// TestBatchCustomCache: the spec's cache object overrides the paper
+// geometry for every query.
+func TestBatchCustomCache(t *testing.T) {
+	spec := `{
+		"benchmarks": ["bs"],
+		"pfails": [1e-3],
+		"mechanisms": ["none"],
+		"cache": {"sets": 8, "ways": 2, "block_bytes": 8, "hit_latency": 1, "mem_latency": 10}
+	}`
+	code, stdout, stderr := runCmd(t, "-batch", writeSpec(t, spec), "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var rows []struct {
+		PWCET         int64 `json:"pwcet"`
+		FaultFreeWCET int64 `json:"fault_free_wcet"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rows); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pwcet.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := pwcet.Analyze(p, pwcet.Options{
+		Cache: pwcet.CacheConfig{Sets: 8, Ways: 2, BlockBytes: 8, HitLatency: 1, MemLatency: 10},
+		Pfail: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].PWCET != solo.PWCET {
+		t.Errorf("custom-cache batch rows %+v, want pWCET %d", rows, solo.PWCET)
 	}
 }

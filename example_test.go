@@ -27,6 +27,39 @@ func ExampleAnalyze() {
 	// pWCET at 1e-15: 581
 }
 
+// ExampleEngine_AnalyzeBatch runs a pfail sweep as one engine batch:
+// the CFG, fixpoints, IPET system, fault-free WCET and per-set FMM
+// solves are computed once and shared by every sweep point; each query
+// only re-weights the probabilities and convolves.
+func ExampleEngine_AnalyzeBatch() {
+	b := pwcet.NewProgram("sweep")
+	b.Func("main").Ops(8).Loop(10, func(l *pwcet.Body) { l.Ops(4) })
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	queries := []pwcet.Query{
+		{Pfail: 1e-6, Mechanism: pwcet.SRB},
+		{Pfail: 1e-4, Mechanism: pwcet.SRB},
+		{Pfail: 1e-3, Mechanism: pwcet.SRB},
+	}
+	results, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("pfail=%g: pWCET %d\n", queries[i].Pfail, r.PWCET)
+	}
+	// Output:
+	// pfail=1e-06: pWCET 581
+	// pfail=0.0001: pWCET 1581
+	// pfail=0.001: pWCET 2481
+}
+
 // ExampleAnalyzeAll compares the three architectures of the paper on a
 // tight loop: the RW recovers the fault-free WCET (category 2), the SRB
 // cannot preserve the loop's MRU hits, no protection pays the full

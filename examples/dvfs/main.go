@@ -9,6 +9,11 @@
 //
 // For each mechanism the example lowers the voltage step by step until
 // the pWCET at 1e-15 exceeds the deadline, and reports the floor.
+//
+// The whole exploration — up to 51 voltage steps x 3 mechanisms — runs
+// on a single Engine: every step reuses the memoized fixpoints, WCET
+// and FMMs, so each query costs only a probability re-weighting. This
+// is the design-space-exploration workload the session API exists for.
 package main
 
 import (
@@ -29,9 +34,13 @@ func main() {
 		log.Fatal(err)
 	}
 	vm := pwcet.DefaultVoltageModel()
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Deadline: 40% headroom over the fault-free WCET.
-	base, err := pwcet.Analyze(p, pwcet.Options{Pfail: 0})
+	base, err := eng.Analyze(pwcet.Query{Pfail: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +55,7 @@ func main() {
 		var atFloor int64
 		// Sweep downward in 10mV steps from nominal 0.9V.
 		for v := 0.90; v >= 0.40; v -= 0.01 {
-			res, err := pwcet.Analyze(p, pwcet.Options{
+			res, err := eng.Analyze(pwcet.Query{
 				Pfail:     vm.Pfail(v),
 				Mechanism: m,
 			})

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/absint"
 	"repro/internal/cache"
@@ -235,7 +234,7 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		res.DataModel = dmodel
 		res.DataFMM = dfmm
 	}
-	if err := res.buildDistributions(); err != nil {
+	if err := res.buildDistributions(opt.Workers); err != nil {
 		return nil, err
 	}
 	if opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB {
@@ -249,18 +248,20 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 // buildDistributions derives the per-set penalty distributions from the
 // FMM and the faulty-way probabilities, convolves them (including the
 // data cache's, whose fault population is independent), and reads the
-// pWCET quantile.
-func (r *Result) buildDistributions() error {
+// pWCET quantile. workers bounds the convolution tree's parallelism
+// (it may differ from Options.Workers when an Engine batch already
+// fans out at query level); it never changes the result.
+func (r *Result) buildDistributions(workers int) error {
 	cfg := r.Options.Cache
 	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Workers)
+		dist.Degenerate(0), r.Options.MaxSupport, workers)
 	if err != nil {
 		return err
 	}
 	r.PerSet = perSet
 	if r.DataFMM != nil {
 		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
-			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Workers)
+			r.Options.Mechanism, penalty, r.Options.MaxSupport, workers)
 		if err != nil {
 			return err
 		}
@@ -330,13 +331,13 @@ func Gain(baseline, protected *Result) float64 {
 }
 
 // AnalyzeAll runs the analysis for the three architectures of the paper's
-// evaluation, sharing the expensive common work: the cache analyses, the
-// IPET system (with its warm simplex basis) and the FMM columns for
-// f < W are identical across mechanisms; only the f = W column differs
-// (absent for RW, SRB-filtered for SRB). The results are identical to
-// three independent Analyze calls (asserted by tests) at roughly a third
-// of the cost. Options fields that specialize a single mechanism
-// (PreciseSRB, DataCache) are not supported here — use Analyze.
+// evaluation as one Engine batch, sharing the expensive common work: the
+// cache analyses, the IPET system (with its warm simplex basis) and the
+// FMM columns for f < W are identical across mechanisms; only the f = W
+// column differs (absent for RW, SRB-filtered for SRB). The results are
+// identical to three independent Analyze calls (asserted by tests) at
+// roughly a third of the cost. Options fields that specialize a single
+// mechanism (PreciseSRB, DataCache) are not supported here — use Analyze.
 func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, error) {
 	if opt.PreciseSRB || opt.DataCache != nil {
 		return nil, fmt.Errorf("core: AnalyzeAll does not support PreciseSRB or DataCache; call Analyze per mechanism")
@@ -345,102 +346,24 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	e, err := NewEngine(p, EngineOptions{Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.VerifyLoopMetadata(p); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", p.Name, err)
+	mechs := []cache.Mechanism{cache.MechanismNone, cache.MechanismRW, cache.MechanismSRB}
+	queries := make([]Query, len(mechs))
+	for i, m := range mechs {
+		q := queryOf(opt)
+		q.Mechanism = m
+		queries[i] = q
 	}
-	if !cfg.Reducible(p) {
-		return nil, fmt.Errorf("core: %s: irreducible control flow", p.Name)
-	}
-
-	sys, err := ipet.NewSystem(p)
+	results, err := e.AnalyzeBatch(queries)
 	if err != nil {
 		return nil, err
-	}
-	a := absint.New(p, opt.Cache)
-	base := a.ClassifyAll()
-	wres, err := ipet.WCET(sys, a, base)
-	if err != nil {
-		return nil, err
-	}
-
-	// One FMM per distinct f = W column; f < W columns coincide.
-	fmmNone, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
-		Mechanism: cache.MechanismNone,
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	srbColumn, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
-		Mechanism:          cache.MechanismSRB,
-		SRBHit:             a.ClassifySRB(),
-		OnlyWholeSetColumn: true, // f < W columns coincide with fmmNone's
-		Workers:            opt.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fmmSRB := make(ipet.FMM, len(fmmNone))
-	fmmRW := make(ipet.FMM, len(fmmNone))
-	for s, row := range fmmNone {
-		fmmSRB[s] = append([]int64(nil), row...)
-		fmmSRB[s][opt.Cache.Ways] = srbColumn[s][opt.Cache.Ways]
-		fmmRW[s] = append([]int64(nil), row...)
-		fmmRW[s][opt.Cache.Ways] = 0 // the column equation 3 excludes
-	}
-
-	// The three mechanisms' distributions are independent of each other;
-	// build them concurrently (each is itself deterministic, so the
-	// result does not depend on Workers). Errors are reported in the
-	// fixed mechanism order below, like a sequential loop would.
-	mechs := []struct {
-		m   cache.Mechanism
-		fmm ipet.FMM
-	}{
-		{cache.MechanismNone, fmmNone},
-		{cache.MechanismRW, fmmRW},
-		{cache.MechanismSRB, fmmSRB},
-	}
-	results := make([]*Result, len(mechs))
-	errs := make([]error, len(mechs))
-	var wg sync.WaitGroup
-	for i, mf := range mechs {
-		o := opt
-		o.Mechanism = mf.m
-		res := &Result{
-			Program:       p.Name,
-			Options:       o,
-			Model:         model,
-			FaultFreeWCET: wres.WCET,
-			FMM:           mf.fmm,
-			HitRefs:       wres.HitRefs,
-			FMRefs:        wres.FMRefs,
-			MissRefs:      wres.MissRefs,
-		}
-		results[i] = res
-		if opt.Workers == 1 {
-			errs[i] = res.buildDistributions()
-			continue
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[i] = res.buildDistributions()
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
 	}
 	out := make(map[cache.Mechanism]*Result, len(mechs))
-	for i, mf := range mechs {
-		out[mf.m] = results[i]
+	for i, m := range mechs {
+		out[m] = results[i]
 	}
 	return out, nil
 }

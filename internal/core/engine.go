@@ -1,0 +1,624 @@
+package core
+
+// This file implements the session layer of the analysis: a reusable
+// Engine that memoizes the program- and cache-level artifacts of the
+// pipeline so that sweeps — the paper's whole evaluation is sweeps over
+// pfail points, mechanisms, exceedance targets and cache geometries —
+// pay for CFG construction, the Must/May/Persistence fixpoints, the
+// IPET system, the fault-free WCET and the per-set FMM ILP solves
+// exactly once per distinct configuration, instead of once per query.
+//
+// Artifact layers and their keys:
+//
+//   - program level (NewEngine): loop-metadata verification,
+//     reducibility check, the IPET constraint system with its phase-1
+//     simplex basis;
+//   - per (cache config, reference kind): the abstract-interpretation
+//     analyzer with its classification fixpoints, and lazily the SRB
+//     guaranteed-hit classification;
+//   - per (instruction cache, optional data cache): a warm System
+//     clone pivoted by exactly the fault-free WCET solve, plus the
+//     WCET result itself;
+//   - per (context, reference kind, FMM artifact): the
+//     mechanism-independent f < W FMM columns (one ILP solve per set
+//     and fault count) and the three flavours of the f = W column
+//     (none, SRB, precise SRB), from which any mechanism's FMM is
+//     spliced without further solves.
+//
+// A Query then only performs the cheap per-query work: the fault model
+// of equation 1, the probability weighting of equations 2/3, the
+// penalty convolution, and the quantile read-off. Every artifact is a
+// pure function of its key, so batch scheduling can never change any
+// result; AnalyzeBatch results are byte-identical to independent
+// Analyze calls whatever the worker count or completion order.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/absint"
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/chmc"
+	"repro/internal/fault"
+	"repro/internal/ipet"
+	"repro/internal/program"
+)
+
+// Query selects one analysis configuration to run against an Engine's
+// program. The zero value of each field selects the same default as the
+// corresponding Options field (paper cache, 1e-15 target, 4096 support
+// cap); Workers is not part of a Query — parallelism belongs to the
+// Engine, and results never depend on it.
+type Query struct {
+	// Cache is the instruction-cache geometry. Zero value = PaperConfig.
+	Cache cache.Config
+	// Pfail is the per-bit permanent failure probability.
+	Pfail float64
+	// Mechanism selects the reliability hardware (None, RW, SRB).
+	Mechanism cache.Mechanism
+	// TargetExceedance is the probability at which the pWCET is read
+	// (default 1e-15).
+	TargetExceedance float64
+	// MaxSupport caps the convolution support size (default 4096).
+	MaxSupport int
+	// PreciseSRB enables the refined SRB analysis (mixture bound).
+	PreciseSRB bool
+	// DataCache, when non-nil, additionally analyzes data accesses
+	// against this configuration (not combinable with PreciseSRB).
+	DataCache *cache.Config
+}
+
+// options converts the query to the equivalent one-shot Options.
+func (q Query) options(workers int) Options {
+	return Options{
+		Cache:            q.Cache,
+		Pfail:            q.Pfail,
+		Mechanism:        q.Mechanism,
+		TargetExceedance: q.TargetExceedance,
+		MaxSupport:       q.MaxSupport,
+		PreciseSRB:       q.PreciseSRB,
+		DataCache:        q.DataCache,
+		Workers:          workers,
+	}
+}
+
+// queryOf converts one-shot Options to the equivalent Query.
+func queryOf(o Options) Query {
+	return Query{
+		Cache:            o.Cache,
+		Pfail:            o.Pfail,
+		Mechanism:        o.Mechanism,
+		TargetExceedance: o.TargetExceedance,
+		MaxSupport:       o.MaxSupport,
+		PreciseSRB:       o.PreciseSRB,
+		DataCache:        o.DataCache,
+	}
+}
+
+// Artifact identifies one class of memoized computation. Hook callbacks
+// receive the artifact kind so tests and monitoring can count how often
+// the expensive stages actually run.
+type Artifact int
+
+const (
+	// ArtifactClassification is the Must/May/Persistence fixpoints and
+	// CHMC classification of one cache configuration.
+	ArtifactClassification Artifact = iota
+	// ArtifactSRBClassification is the SRB guaranteed-hit fixpoint.
+	ArtifactSRBClassification
+	// ArtifactWCET is the fault-free IPET WCET solve of one
+	// (instruction cache, data cache) context.
+	ArtifactWCET
+	// ArtifactFMMCore is the mechanism-independent f < W columns of the
+	// fault miss map (one ILP solve per set and fault count).
+	ArtifactFMMCore
+	// ArtifactFMMColumn is one flavour of the f = W column; the event's
+	// Mechanism and Precise fields identify which.
+	ArtifactFMMColumn
+)
+
+// String names the artifact kind for logs and test failures.
+func (a Artifact) String() string {
+	switch a {
+	case ArtifactClassification:
+		return "classification"
+	case ArtifactSRBClassification:
+		return "srb-classification"
+	case ArtifactWCET:
+		return "wcet"
+	case ArtifactFMMCore:
+		return "fmm-core"
+	case ArtifactFMMColumn:
+		return "fmm-column"
+	default:
+		return fmt.Sprintf("artifact(%d)", int(a))
+	}
+}
+
+// ArtifactEvent describes one artifact computation (not a cache hit).
+type ArtifactEvent struct {
+	// Artifact is the kind of computation that ran.
+	Artifact Artifact
+	// Cache is the cache configuration the artifact belongs to.
+	Cache cache.Config
+	// Data marks artifacts of a data-cache reference stream.
+	Data bool
+	// Mechanism qualifies ArtifactFMMColumn events (None or SRB).
+	Mechanism cache.Mechanism
+	// Precise marks the precise-SRB f = W column.
+	Precise bool
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Workers bounds the goroutines used by the per-set stages of each
+	// analysis and by AnalyzeBatch's query scheduling. 0 means
+	// GOMAXPROCS, 1 is fully sequential; negative values are rejected.
+	// When a batch fans out at query level, each query's own
+	// distribution stages run sequentially (the pool is already
+	// saturated), so the bound is not multiplied. Results are
+	// byte-identical for every worker count.
+	Workers int
+	// Hook, when non-nil, is called once per artifact actually computed
+	// (memo hits do not fire it). Calls may come from any worker
+	// goroutine; the callback must be safe for concurrent use.
+	Hook func(ArtifactEvent)
+}
+
+// Engine is a reusable analysis session for one program. It memoizes
+// every expensive artifact (see the file comment for the layering), so
+// repeated Analyze calls and AnalyzeBatch sweeps that vary only pfail,
+// mechanism or target skip straight to the cheap probability weighting.
+//
+// An Engine is safe for concurrent use; all memoized artifacts are pure
+// functions of their keys, so results are byte-identical to independent
+// one-shot Analyze calls with the same Workers setting, in any order.
+// Memoized artifacts are retained for the lifetime of the Engine —
+// long-lived services sweeping many cache geometries should scope an
+// Engine per batch if memory is a concern.
+type Engine struct {
+	p        *program.Program
+	workers  int
+	hook     func(ArtifactEvent)
+	pristine *ipet.System
+
+	mu      sync.Mutex
+	classes map[classKey]*classEntry
+	ctxs    map[ctxKey]*ctxEntry
+}
+
+// classKey identifies one classification artifact: a cache geometry
+// applied to one of the program's two reference streams.
+type classKey struct {
+	cfg  cache.Config
+	data bool
+}
+
+// classEntry memoizes the analyzer and classification of one classKey.
+type classEntry struct {
+	once sync.Once
+	a    *absint.Analyzer
+	base []chmc.Class
+
+	srbOnce sync.Once
+	srbHit  []bool
+}
+
+// ctxKey identifies one WCET context: the instruction cache plus the
+// optional data cache (the combined objective pivots the simplex
+// differently, so contexts with and without a data cache are distinct).
+type ctxKey struct {
+	icfg    cache.Config
+	dcfg    cache.Config
+	hasData bool
+}
+
+// ctxEntry memoizes one context's warm system, WCET and FMM artifacts.
+type ctxEntry struct {
+	once sync.Once
+	err  error
+
+	ic, dc *classEntry
+	sys    *ipet.System
+	wcet   *ipet.WCETResult
+
+	mu   sync.Mutex
+	fmms map[fmmKey]*fmmEntry
+}
+
+// fmmKind selects one memoized FMM artifact of a context.
+type fmmKind int
+
+const (
+	// fmmCore is the mechanism-independent f < W columns (computed with
+	// MechanismRW, which skips the f = W solve entirely).
+	fmmCore fmmKind = iota
+	// fmmNoneColumn is the unprotected f = W column.
+	fmmNoneColumn
+	// fmmSRBColumn is the SRB-filtered f = W column.
+	fmmSRBColumn
+	// fmmPreciseColumn is the precise-SRB f = W column.
+	fmmPreciseColumn
+)
+
+type fmmKey struct {
+	kind fmmKind
+	data bool
+}
+
+type fmmEntry struct {
+	once sync.Once
+	fmm  ipet.FMM
+	err  error
+}
+
+// NewEngine builds an analysis session for the program: it verifies the
+// loop metadata and reducibility once, constructs the IPET constraint
+// system and runs simplex phase 1. Everything else is computed lazily
+// and memoized as queries need it.
+func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", opt.Workers)
+	}
+	// Soundness gate, identical to Analyze: IPET loop-bound constraints
+	// are only valid for verified natural loops on a reducible CFG.
+	if err := cfg.VerifyLoopMetadata(p); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", p.Name, err)
+	}
+	if !cfg.Reducible(p) {
+		return nil, fmt.Errorf("core: %s: irreducible control flow", p.Name)
+	}
+	sys, err := ipet.NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		p:        p,
+		workers:  opt.Workers,
+		hook:     opt.Hook,
+		pristine: sys,
+		classes:  make(map[classKey]*classEntry),
+		ctxs:     make(map[ctxKey]*ctxEntry),
+	}, nil
+}
+
+// Program returns the program the engine analyzes.
+func (e *Engine) Program() *program.Program { return e.p }
+
+// Workers returns the engine's worker bound (0 means GOMAXPROCS).
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) emit(ev ArtifactEvent) {
+	if e.hook != nil {
+		e.hook(ev)
+	}
+}
+
+// class returns the memoized classification of one cache configuration,
+// computing the fixpoints on first use.
+func (e *Engine) class(cfg cache.Config, data bool) *classEntry {
+	key := classKey{cfg: cfg, data: data}
+	e.mu.Lock()
+	c := e.classes[key]
+	if c == nil {
+		c = &classEntry{}
+		e.classes[key] = c
+	}
+	e.mu.Unlock()
+	c.once.Do(func() {
+		if data {
+			c.a = absint.NewData(e.p, cfg)
+		} else {
+			c.a = absint.New(e.p, cfg)
+		}
+		c.base = c.a.ClassifyAll()
+		e.emit(ArtifactEvent{Artifact: ArtifactClassification, Cache: cfg, Data: data})
+	})
+	return c
+}
+
+// srb returns the memoized SRB guaranteed-hit classification.
+func (e *Engine) srb(c *classEntry, data bool) []bool {
+	c.srbOnce.Do(func() {
+		c.srbHit = c.a.ClassifySRB()
+		e.emit(ArtifactEvent{Artifact: ArtifactSRBClassification, Cache: c.a.Config(), Data: data})
+	})
+	return c.srbHit
+}
+
+// context returns the memoized WCET context of the query's cache pair:
+// a private System warmed by exactly the fault-free WCET solve a
+// one-shot Analyze would run, and the WCET result. Errors are sticky.
+func (e *Engine) context(icfg cache.Config, dcfg *cache.Config) (*ctxEntry, error) {
+	key := ctxKey{icfg: icfg}
+	if dcfg != nil {
+		key.dcfg, key.hasData = *dcfg, true
+	}
+	e.mu.Lock()
+	ctx := e.ctxs[key]
+	if ctx == nil {
+		ctx = &ctxEntry{fmms: make(map[fmmKey]*fmmEntry)}
+		e.ctxs[key] = ctx
+	}
+	e.mu.Unlock()
+	ctx.once.Do(func() {
+		ctx.ic = e.class(icfg, false)
+		if key.hasData {
+			ctx.dc = e.class(key.dcfg, true)
+		}
+		// The clone starts from the pristine phase-1 basis, exactly like
+		// a fresh NewSystem; the WCET solve below pivots only this
+		// clone, so it is the context's sole warm-up — afterwards the
+		// system is only ever read (ComputeFMM workers clone from it).
+		ctx.sys = e.pristine.Clone()
+		var da *absint.Analyzer
+		var dbase []chmc.Class
+		if ctx.dc != nil {
+			da, dbase = ctx.dc.a, ctx.dc.base
+		}
+		ctx.wcet, ctx.err = ipet.WCETCombined(ctx.sys, ctx.ic.a, ctx.ic.base, da, dbase)
+		if ctx.err == nil {
+			e.emit(ArtifactEvent{Artifact: ArtifactWCET, Cache: icfg, Data: key.hasData})
+		}
+	})
+	if ctx.err != nil {
+		return nil, ctx.err
+	}
+	return ctx, nil
+}
+
+// fmmArtifact returns one memoized FMM artifact of the context.
+func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
+	ctx.mu.Lock()
+	entry := ctx.fmms[key]
+	if entry == nil {
+		entry = &fmmEntry{}
+		ctx.fmms[key] = entry
+	}
+	ctx.mu.Unlock()
+	entry.once.Do(func() {
+		c := ctx.ic
+		if key.data {
+			c = ctx.dc
+		}
+		opt := ipet.FMMOptions{Workers: e.workers}
+		ev := ArtifactEvent{Cache: c.a.Config(), Data: key.data}
+		switch key.kind {
+		case fmmCore:
+			// MechanismRW never reaches the f = W column, so its FMM is
+			// exactly the mechanism-independent f < W columns.
+			opt.Mechanism = cache.MechanismRW
+			ev.Artifact, ev.Mechanism = ArtifactFMMCore, cache.MechanismRW
+		case fmmNoneColumn:
+			opt.Mechanism = cache.MechanismNone
+			opt.OnlyWholeSetColumn = true
+			ev.Artifact, ev.Mechanism = ArtifactFMMColumn, cache.MechanismNone
+		case fmmSRBColumn:
+			opt.Mechanism = cache.MechanismSRB
+			opt.SRBHit = e.srb(c, key.data)
+			opt.OnlyWholeSetColumn = true
+			ev.Artifact, ev.Mechanism = ArtifactFMMColumn, cache.MechanismSRB
+		case fmmPreciseColumn:
+			// The precise column classifies per set (ClassifySRBForSet);
+			// the SRB guaranteed-hit vector is not consulted.
+			opt.Mechanism = cache.MechanismSRB
+			opt.PreciseSRB = true
+			opt.OnlyWholeSetColumn = true
+			ev.Artifact, ev.Mechanism, ev.Precise = ArtifactFMMColumn, cache.MechanismSRB, true
+		}
+		entry.fmm, entry.err = ipet.ComputeFMM(ctx.sys, c.a, c.base, opt)
+		if entry.err == nil {
+			e.emit(ev)
+		}
+	})
+	return entry.fmm, entry.err
+}
+
+// fmmFor splices the requested mechanism's fault miss map from the
+// memoized artifacts: the shared f < W columns plus the mechanism's
+// f = W column. The returned FMM is a fresh copy the caller owns.
+func (e *Engine) fmmFor(ctx *ctxEntry, data bool, mech cache.Mechanism, precise bool) (ipet.FMM, error) {
+	core, err := e.fmmArtifact(ctx, fmmKey{kind: fmmCore, data: data})
+	if err != nil {
+		return nil, err
+	}
+	var column ipet.FMM
+	switch {
+	case precise:
+		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmPreciseColumn, data: data})
+	case mech == cache.MechanismNone:
+		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmNoneColumn, data: data})
+	case mech == cache.MechanismSRB:
+		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmSRBColumn, data: data})
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := ctx.ic
+	if data {
+		c = ctx.dc
+	}
+	ways := c.a.Config().Ways
+	fmm := make(ipet.FMM, len(core))
+	for s, row := range core {
+		fmm[s] = append([]int64(nil), row...)
+		if column != nil {
+			fmm[s][ways] = column[s][ways]
+		}
+	}
+	return fmm, nil
+}
+
+// Analyze runs one query against the session, reusing every memoized
+// artifact and computing only the per-query probability weighting,
+// convolution and quantile. The result is byte-identical to a one-shot
+// Analyze call with the same configuration.
+func (e *Engine) Analyze(q Query) (*Result, error) {
+	return e.analyze(q, e.workers)
+}
+
+// analyze runs one query with the per-query distribution stages
+// bounded by stageWorkers. AnalyzeBatchStream's parallel path passes 1:
+// the query-level fan-out already saturates the pool, and multiplying
+// it by per-set parallelism would oversubscribe the machine. Stage
+// parallelism never changes any result.
+func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
+	opt := q.options(e.workers).withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.DataCache != nil && opt.PreciseSRB {
+		return nil, fmt.Errorf("core: PreciseSRB is not supported together with a data cache")
+	}
+	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	if err != nil {
+		return nil, err
+	}
+	var dmodel fault.Model
+	if opt.DataCache != nil {
+		if err := opt.DataCache.Validate(); err != nil {
+			return nil, fmt.Errorf("core: data cache: %w", err)
+		}
+		dmodel, err = fault.NewModel(opt.Pfail, *opt.DataCache)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, err := e.context(opt.Cache, opt.DataCache)
+	if err != nil {
+		return nil, err
+	}
+	fmm, err := e.fmmFor(ctx, false, opt.Mechanism, false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Program:       e.p.Name,
+		Options:       opt,
+		Model:         model,
+		FaultFreeWCET: ctx.wcet.WCET,
+		FMM:           fmm,
+		HitRefs:       ctx.wcet.HitRefs,
+		FMRefs:        ctx.wcet.FMRefs,
+		MissRefs:      ctx.wcet.MissRefs,
+	}
+	if opt.DataCache != nil {
+		dfmm, err := e.fmmFor(ctx, true, opt.Mechanism, false)
+		if err != nil {
+			return nil, err
+		}
+		res.DataModel = dmodel
+		res.DataFMM = dfmm
+	}
+	if err := res.buildDistributions(stageWorkers); err != nil {
+		return nil, err
+	}
+	if opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB {
+		pfmm, err := e.fmmFor(ctx, false, opt.Mechanism, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.attachPreciseSRB(pfmm, stageWorkers); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// BatchResult is one indexed outcome of AnalyzeBatchStream: the query's
+// position in the input slice, the query itself, and either a result or
+// an error. Delivery order follows completion, but the content of every
+// result is deterministic — a pure function of the query.
+type BatchResult struct {
+	Index  int
+	Query  Query
+	Result *Result
+	Err    error
+}
+
+// AnalyzeBatchStream schedules the queries over the engine's worker
+// pool and streams each outcome to deliver as soon as it completes.
+// deliver is never called concurrently with itself; delivery order is
+// scheduling-dependent, result content is not. Shared artifacts are
+// computed once however many queries need them: concurrent queries
+// that hit the same missing artifact block until its single
+// computation finishes.
+func (e *Engine) AnalyzeBatchStream(queries []Query, deliver func(BatchResult)) {
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			res, err := e.analyze(q, e.workers)
+			deliver(BatchResult{Index: i, Query: q, Result: res, Err: err})
+		}
+		return
+	}
+
+	var mu sync.Mutex // serializes deliver
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Stage parallelism 1: the query-level fan-out already
+				// saturates the pool (memoized artifacts still compute
+				// at the engine's Workers, deduplicated by sync.Once).
+				res, err := e.analyze(queries[i], 1)
+				mu.Lock()
+				deliver(BatchResult{Index: i, Query: queries[i], Result: res, Err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// AnalyzeBatchChan is AnalyzeBatchStream delivering over a channel; the
+// channel is closed after the last result. The channel is buffered to
+// hold the whole batch, so a consumer that stops reading early (e.g.
+// breaking out of the range on the first error) strands no goroutine —
+// the remaining queries still run to completion in the background.
+func (e *Engine) AnalyzeBatchChan(queries []Query) <-chan BatchResult {
+	ch := make(chan BatchResult, len(queries))
+	go func() {
+		defer close(ch)
+		e.AnalyzeBatchStream(queries, func(r BatchResult) { ch <- r })
+	}()
+	return ch
+}
+
+// AnalyzeBatch runs all queries and returns their results in input
+// order. On failures it returns the error of the lowest-index failing
+// query — the same one a sequential loop would have hit first.
+func (e *Engine) AnalyzeBatch(queries []Query) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	firstFailed, firstErr := len(queries), error(nil)
+	e.AnalyzeBatchStream(queries, func(r BatchResult) {
+		if r.Err != nil {
+			if r.Index < firstFailed {
+				firstFailed, firstErr = r.Index, r.Err
+			}
+			return
+		}
+		results[r.Index] = r.Result
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

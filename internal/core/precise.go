@@ -48,10 +48,10 @@ func probMultiFullSets(pbf float64, sets, ways int) float64 {
 	return 1 - math.Pow(1-q, s) - s*q*math.Pow(1-q, s-1)
 }
 
-// buildPreciseSRB computes the precise FMM and penalty distribution and
-// attaches them to the result. Must be called after buildDistributions.
+// buildPreciseSRB computes the precise FMM and attaches the precise
+// penalty distribution to the result. Must be called after
+// buildDistributions.
 func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []chmc.Class) error {
-	cfg := r.Options.Cache
 	fmm, err := ipet.ComputeFMM(sys, a, base, ipet.FMMOptions{
 		Mechanism:  r.Options.Mechanism,
 		PreciseSRB: true,
@@ -60,6 +60,14 @@ func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []ch
 	if err != nil {
 		return err
 	}
+	return r.attachPreciseSRB(fmm, r.Options.Workers)
+}
+
+// attachPreciseSRB derives the precise penalty distribution and the
+// mixture pWCET from an already-computed precise FMM (Engine sessions
+// memoize it across queries). workers bounds the convolution only.
+func (r *Result) attachPreciseSRB(fmm ipet.FMM, workers int) error {
+	cfg := r.Options.Cache
 	r.FMMPrecise = fmm
 
 	pwf := fault.PWF(cfg.Ways, r.Model.PBF)
@@ -75,7 +83,7 @@ func (r *Result) buildPreciseSRB(sys *ipet.System, a *absint.Analyzer, base []ch
 		}
 		perSet[s] = d
 	}
-	r.PenaltyPrecise = dist.ConvolveAll(perSet, r.Options.MaxSupport, r.Options.Workers)
+	r.PenaltyPrecise = dist.ConvolveAll(perSet, r.Options.MaxSupport, workers)
 	r.ProbMultiFullSets = probMultiFullSets(r.Model.PBF, cfg.Sets, cfg.Ways)
 	r.PWCET = r.FaultFreeWCET + r.mixtureQuantile(r.Options.TargetExceedance)
 	return nil

@@ -14,30 +14,49 @@
 //
 // # Quick start
 //
+// The primary entry point is the Engine: a reusable analysis session
+// for one program that memoizes the expensive pipeline stages (CFG and
+// IPET system construction, the Must/May/Persistence fixpoints, the
+// fault-free WCET, the per-set fault-miss-map ILP solves) across
+// queries, so sweeps over pfail, mechanism, target or cache geometry
+// pay for them once:
+//
 //	b := pwcet.NewProgram("example")
 //	b.Func("main").Loop(100, func(l *pwcet.Body) { l.Ops(12) })
 //	p, err := b.Build()
 //	// handle err
-//	res, err := pwcet.Analyze(p, pwcet.Options{Pfail: 1e-4, Mechanism: pwcet.RW})
+//	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{})
+//	// handle err
+//	res, err := eng.Analyze(pwcet.Query{Pfail: 1e-4, Mechanism: pwcet.RW})
 //	// handle err
 //	fmt.Println(res.FaultFreeWCET, res.PWCET)
 //
+// Engine.AnalyzeBatch evaluates many queries at once over a worker
+// pool with shared-work deduplication; Engine.AnalyzeBatchStream and
+// Engine.AnalyzeBatchChan stream indexed results as they complete. For
+// a single configuration, the one-shot Analyze and AnalyzeAll helpers
+// wrap a throwaway Engine.
+//
 // The paper's 25-benchmark Mälardalen evaluation is available through
-// Benchmarks and Benchmark; cmd/paperfigs regenerates every figure.
+// Benchmarks and Benchmark; cmd/paperfigs regenerates every figure and
+// cmd/pwcet -batch runs JSON-specified sweeps.
 //
 // # Parallelism and determinism
 //
 // The per-set stages of an analysis — the fault-miss-map ILP solves
 // and the penalty convolution — are independent across cache sets and
-// run on a bounded worker pool controlled by Options.Workers (0 uses
-// GOMAXPROCS, 1 forces fully sequential execution; cmd/pwcet exposes
-// it as -workers). The results are byte-identical for every worker
-// count: each set's ILPs are solved on a private simplex restored to
-// the same pristine basis, and the per-set distributions are reduced
-// by a pairwise tree whose shape depends only on the set count, so
-// neither goroutine scheduling nor pool size can influence any FMM
-// entry, distribution atom, or pWCET. Parallelism changes wall-clock
-// time, never results.
+// run on a bounded worker pool controlled by EngineOptions.Workers /
+// Options.Workers (0 uses GOMAXPROCS, 1 forces fully sequential
+// execution; cmd/pwcet exposes it as -workers). Engine batches
+// additionally schedule whole queries over the same pool. The results
+// are byte-identical for every worker count and batch order: each
+// set's ILPs are solved on a private simplex restored to the same
+// pristine basis, the per-set distributions are reduced by a pairwise
+// tree whose shape depends only on the set count, and every memoized
+// Engine artifact is a pure function of its key, so neither goroutine
+// scheduling nor pool size nor query interleaving can influence any
+// FMM entry, distribution atom, or pWCET. Parallelism changes
+// wall-clock time, never results.
 package pwcet
 
 import (
@@ -53,6 +72,24 @@ import (
 
 // Re-exported types: the analysis surface.
 type (
+	// Engine is a reusable analysis session for one program: it
+	// memoizes the program- and cache-level artifacts so repeated
+	// queries only pay for the cheap probability weighting. Safe for
+	// concurrent use; results are byte-identical to one-shot Analyze.
+	Engine = core.Engine
+	// EngineOptions configures an Engine (worker pool, instrumentation
+	// hook).
+	EngineOptions = core.EngineOptions
+	// Query selects one configuration (cache, pfail, mechanism, target)
+	// to analyze against an Engine's program.
+	Query = core.Query
+	// BatchResult is one indexed outcome of a streaming batch.
+	BatchResult = core.BatchResult
+	// Artifact identifies a class of memoized Engine computation.
+	Artifact = core.Artifact
+	// ArtifactEvent describes one Engine artifact computation; see
+	// EngineOptions.Hook.
+	ArtifactEvent = core.ArtifactEvent
 	// CacheConfig describes a set-associative instruction cache.
 	CacheConfig = cache.Config
 	// Mechanism selects the reliability hardware (None, RW, SRB).
@@ -112,11 +149,37 @@ func PaperCache() CacheConfig { return cache.PaperConfig() }
 // NewProgram starts building a program with the given name.
 func NewProgram(name string) *Builder { return program.New(name) }
 
+// NewEngine builds a reusable analysis session for the program. The
+// session verifies the program and constructs the IPET system once;
+// every further artifact (cache fixpoints, fault-free WCET, per-set
+// FMMs) is computed lazily on first use and shared by all subsequent
+// Analyze and AnalyzeBatch queries.
+func NewEngine(p *Program, opt EngineOptions) (*Engine, error) {
+	return core.NewEngine(p, opt)
+}
+
 // Analyze runs the pWCET analysis of a program under the given options.
-func Analyze(p *Program, opt Options) (*Result, error) { return core.Analyze(p, opt) }
+// It is a thin wrapper over a throwaway Engine; callers analyzing the
+// same program more than once should hold an Engine instead.
+func Analyze(p *Program, opt Options) (*Result, error) {
+	e, err := core.NewEngine(p, EngineOptions{Workers: opt.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return e.Analyze(core.Query{
+		Cache:            opt.Cache,
+		Pfail:            opt.Pfail,
+		Mechanism:        opt.Mechanism,
+		TargetExceedance: opt.TargetExceedance,
+		MaxSupport:       opt.MaxSupport,
+		PreciseSRB:       opt.PreciseSRB,
+		DataCache:        opt.DataCache,
+	})
+}
 
 // AnalyzeAll analyzes a program under all three architectures (none, RW,
-// SRB) with otherwise identical options.
+// SRB) with otherwise identical options, as one shared-work Engine
+// batch.
 func AnalyzeAll(p *Program, opt Options) (map[Mechanism]*Result, error) {
 	return core.AnalyzeAll(p, opt)
 }
