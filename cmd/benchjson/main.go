@@ -17,7 +17,7 @@
 // Compare mode diffs a freshly measured run against a committed
 // baseline and fails on regressions — CI's perf gate:
 //
-//	go test -run '^$' -bench '...' . | benchjson -compare BENCH_pr3.json -threshold 25
+//	go test -run '^$' -bench '...' . | benchjson -compare BENCH_pr4.json -threshold 25
 //
 // Benchmarks are matched by name with the trailing GOMAXPROCS suffix
 // ("-8") stripped, so baselines recorded on machines with different
@@ -26,6 +26,26 @@
 // percentage of ns/op, or when the two runs share no benchmark at all
 // (a misconfigured gate must not pass vacuously); benchmarks that
 // appear on only one side are reported but do not fail the gate.
+//
+// By default the comparison is absolute: current ns/op against
+// baseline ns/op, which assumes comparable machines. The -normalize
+// flag makes the gate machine-speed independent by electing one
+// benchmark of the run as the in-run speed reference:
+//
+//	... | benchjson -compare BENCH_pr4.json -threshold 25 -normalize BenchmarkFMM
+//
+// Every benchmark's ns/op is divided by the reference's ns/op OF THE
+// SAME RUN, and the threshold applies to the ratio's change instead of
+// the raw ns/op change — a uniformly 2x slower CI runner moves every
+// ratio by ~0%, while a genuine hot-path regression moves its
+// benchmark's ratio as much as it moves its ns/op. The reference must
+// be present in both runs (the gate fails otherwise: a normalization
+// anchor that silently disappears would un-gate everything) and is
+// itself exempt from the threshold — its ratio is 1 by construction —
+// so it also does not count toward the shared-benchmark overlap: a run
+// whose only overlap with the baseline is the reference fails like a
+// zero-overlap run instead of passing vacuously. The absolute mode
+// remains the fallback when -normalize is not given.
 package main
 
 import (
@@ -63,9 +83,10 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	label := fs.String("label", "", "baseline label recorded in the output (e.g. pr3)")
+	label := fs.String("label", "", "baseline label recorded in the output (e.g. pr4)")
 	compare := fs.String("compare", "", "baseline JSON file to compare stdin against (compare mode)")
 	threshold := fs.Float64("threshold", 25, "compare mode: maximum tolerated ns/op regression in percent")
+	normalize := fs.String("normalize", "", "compare mode: in-run reference benchmark; regressions are judged on ns/op ratios to it (machine-speed independent)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,6 +100,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *normalize != "" && *compare == "" {
+		fmt.Fprintln(stderr, "benchjson: -normalize requires -compare")
+		fs.Usage()
+		return 2
+	}
 
 	current, err := parse(bufio.NewScanner(stdin), *label)
 	if err != nil {
@@ -87,7 +113,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *compare != "" {
-		ok, err := compareBaselines(stdout, *compare, current, *threshold)
+		ok, err := compareBaselines(stdout, *compare, current, *threshold, *normalize)
 		if err != nil {
 			fmt.Fprintln(stderr, "benchjson:", err)
 			return 1
@@ -177,9 +203,12 @@ func normalizeName(name string) string {
 
 // compareBaselines diffs current against the baseline file and prints
 // a per-benchmark table. It returns ok = false when any shared
-// benchmark regressed beyond the threshold (in percent of the
-// baseline's ns/op) or when no benchmark is shared at all.
-func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, threshold float64) (bool, error) {
+// benchmark regressed beyond the threshold or when no benchmark is
+// shared at all. With an empty normalize the deltas are absolute ns/op
+// changes; otherwise normalize names the in-run reference benchmark
+// and deltas are changes of the ns/op ratio to that reference (see the
+// package comment).
+func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, threshold float64, normalize string) (bool, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -191,6 +220,33 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 	ref := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
 		ref[normalizeName(r.Name)] = r
+	}
+
+	// In normalized mode every ns/op is divided by its own run's
+	// reference ns/op before comparing, canceling machine speed.
+	refName := normalizeName(normalize)
+	baseDiv, curDiv := 1.0, 1.0
+	if normalize != "" {
+		baseRef, okBase := ref[refName]
+		var curRef Result
+		okCur := false
+		for _, cur := range current.Results {
+			if normalizeName(cur.Name) == refName {
+				curRef, okCur = cur, true
+				break
+			}
+		}
+		switch {
+		case !okBase:
+			return false, fmt.Errorf("normalization reference %q missing from baseline %s", refName, baselinePath)
+		case !okCur:
+			return false, fmt.Errorf("normalization reference %q missing from the current run", refName)
+		case baseRef.NsPerOp <= 0 || curRef.NsPerOp <= 0:
+			return false, fmt.Errorf("normalization reference %q has non-positive ns/op", refName)
+		}
+		baseDiv, curDiv = baseRef.NsPerOp, curRef.NsPerOp
+		fmt.Fprintf(stdout, "normalized to %s: baseline %.0f ns/op, current %.0f ns/op\n",
+			refName, baseDiv, curDiv)
 	}
 
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
@@ -205,12 +261,21 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\tnew\t\n", name, cur.NsPerOp)
 			continue
 		}
+		if normalize != "" && name == refName {
+			// The reference is exempt from the threshold (its ratio is 1
+			// by construction), so it must not count as shared either —
+			// a gate whose only overlap is its own anchor compares
+			// nothing and must fail below, not pass vacuously.
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t-\treference\t\n", name, base.NsPerOp, cur.NsPerOp)
+			continue
+		}
 		shared++
 		if base.NsPerOp <= 0 {
 			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t-\tskipped (zero baseline)\t\n", name, base.NsPerOp, cur.NsPerOp)
 			continue
 		}
-		delta := 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+		baseVal, curVal := base.NsPerOp/baseDiv, cur.NsPerOp/curDiv
+		delta := 100 * (curVal - baseVal) / baseVal
 		status := "ok"
 		if delta > threshold {
 			status = fmt.Sprintf("REGRESSION (> %g%%)", threshold)
@@ -227,9 +292,13 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 		return false, err
 	}
 
+	refNote := ""
+	if normalize != "" {
+		refNote = " (the normalization reference does not count)"
+	}
 	switch {
 	case shared == 0:
-		fmt.Fprintf(stdout, "no shared benchmarks between %s and the current run — the gate cannot pass vacuously\n", baselinePath)
+		fmt.Fprintf(stdout, "no shared benchmarks between %s and the current run%s — the gate cannot pass vacuously\n", baselinePath, refNote)
 		return false, nil
 	case regressions > 0:
 		fmt.Fprintf(stdout, "%d of %d shared benchmarks regressed beyond %g%%\n", regressions, shared, threshold)

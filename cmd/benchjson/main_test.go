@@ -164,6 +164,137 @@ func TestCompareNoOverlapFails(t *testing.T) {
 	}
 }
 
+// writeScaledBaseline records the sample run with per-benchmark ns/op
+// scale factors (by normalized name; missing names keep scale def).
+func writeScaledBaseline(t *testing.T, def float64, scales map[string]float64) string {
+	t.Helper()
+	base, err := parse(bufio.NewScanner(strings.NewReader(sample)), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		s, ok := scales[normalizeName(base.Results[i].Name)]
+		if !ok {
+			s = def
+		}
+		base.Results[i].NsPerOp *= s
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareNormalizedCancelsMachineSpeed: a baseline recorded on a
+// machine 2x faster than the current one fails the absolute gate but
+// passes the ratio gate — every benchmark moved in lockstep with the
+// in-run reference, so no ratio changed.
+func TestCompareNormalizedCancelsMachineSpeed(t *testing.T) {
+	fast := writeBaseline(t, 0.5) // uniformly 2x faster baseline machine
+	if code, stdout, _ := runCmd(t, sample, "-compare", fast); code != 1 {
+		t.Fatalf("absolute compare against a 2x faster machine passed (exit %d):\n%s", code, stdout)
+	}
+	code, stdout, stderr := runCmd(t, sample, "-compare", fast, "-normalize", "BenchmarkFig3")
+	if code != 0 {
+		t.Fatalf("normalized compare exit %d, stdout:\n%s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "normalized to BenchmarkFig3") {
+		t.Errorf("missing normalization header:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "reference") {
+		t.Errorf("reference row not marked:\n%s", stdout)
+	}
+	// The reference itself does not count as a shared benchmark.
+	if !strings.Contains(stdout, "all 2 shared benchmarks within 25%") {
+		t.Errorf("missing pass summary:\n%s", stdout)
+	}
+}
+
+// TestCompareNormalizedCatchesRelativeRegression: one benchmark slowed
+// 2x relative to the reference; the ratio gate fails and names it even
+// though the machines differ in speed.
+func TestCompareNormalizedCatchesRelativeRegression(t *testing.T) {
+	// Baseline machine uniformly 4x faster, but the workers=4 benchmark
+	// was additionally 2x faster relative to everything else.
+	path := writeScaledBaseline(t, 0.25, map[string]float64{
+		"BenchmarkComputeFMMWorkers/workers=4": 0.125,
+	})
+	code, stdout, _ := runCmd(t, sample, "-compare", path, "-normalize", "BenchmarkFig3")
+	if code != 1 {
+		t.Fatalf("relative regression passed the normalized gate (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "1 of 2 shared benchmarks regressed") {
+		t.Errorf("missing regression summary:\n%s", stdout)
+	}
+	// The reference itself is exempt even when the machines differ:
+	// its own table row must be marked "reference", never "REGRESSION".
+	for _, line := range strings.Split(stdout, "\n") {
+		if !strings.Contains(line, "BenchmarkFig3") || strings.HasPrefix(line, "normalized to") {
+			continue
+		}
+		if strings.Contains(line, "REGRESSION") || !strings.Contains(line, "reference") {
+			t.Errorf("reference row not exempt: %q", line)
+		}
+	}
+}
+
+// TestCompareNormalizedRefOnlyOverlapFails: when the normalization
+// reference is the ONLY benchmark shared with the baseline, the gate
+// compares nothing and must fail like a zero-overlap run.
+func TestCompareNormalizedRefOnlyOverlapFails(t *testing.T) {
+	refOnly := `BenchmarkFig3-8 2 504804832 ns/op` + "\n"
+	base, err := parse(bufio.NewScanner(strings.NewReader(refOnly)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(base)
+	path := filepath.Join(t.TempDir(), "refonly.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runCmd(t, sample, "-compare", path, "-normalize", "BenchmarkFig3")
+	if code != 1 {
+		t.Fatalf("reference-only overlap passed the gate (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no shared benchmarks") {
+		t.Errorf("missing no-overlap diagnosis:\n%s", stdout)
+	}
+}
+
+// TestCompareNormalizeErrors: a missing reference must fail the gate
+// loudly on either side, and -normalize without -compare is a usage
+// error.
+func TestCompareNormalizeErrors(t *testing.T) {
+	if code, _, stderr := runCmd(t, sample, "-compare", writeBaseline(t, 1), "-normalize", "BenchmarkNope"); code != 1 ||
+		!strings.Contains(stderr, "missing from baseline") {
+		t.Errorf("missing baseline reference: exit %d, stderr %q", code, stderr)
+	}
+	// Present in the baseline, absent from the current run.
+	other := `BenchmarkOnlyInBaseline-8 10 12345 ns/op` + "\n" + sample
+	base, err := parse(bufio.NewScanner(strings.NewReader(other)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(base)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCmd(t, sample, "-compare", path, "-normalize", "BenchmarkOnlyInBaseline"); code != 1 ||
+		!strings.Contains(stderr, "missing from the current run") {
+		t.Errorf("missing current reference: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCmd(t, sample, "-normalize", "BenchmarkFig3"); code != 2 ||
+		!strings.Contains(stderr, "requires -compare") {
+		t.Errorf("-normalize without -compare: exit %d, stderr %q", code, stderr)
+	}
+}
+
 // TestCompareErrors covers the failure paths: missing baseline file,
 // corrupt baseline, bad flags.
 func TestCompareErrors(t *testing.T) {

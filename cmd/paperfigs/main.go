@@ -11,6 +11,10 @@
 // and the exceedance target (default 1e-15); -workers bounds the
 // goroutines used across benchmarks and inside each analysis
 // (0 = GOMAXPROCS). The figures are identical for every worker count.
+// -coarsen selects the support-cap coarsening strategy (least-error,
+// the tail-faithful default, or keep-heaviest for the legacy figures);
+// at the paper's configurations the cap never binds, so both
+// strategies regenerate identical figures.
 //
 // Every figure runs on the session API: one pwcet.Engine per benchmark
 // evaluates its whole query grid (mechanisms, pfail points) with the
@@ -35,12 +39,16 @@ import (
 // benchmark analyses and on each analysis's internal per-set stages.
 var workers int
 
+// coarsen is the resolved -coarsen flag, applied to every query.
+var coarsen pwcet.CoarsenStrategy
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 4, gains or all")
 	pfail := flag.Float64("pfail", 1e-4, "per-bit permanent failure probability")
 	target := flag.Float64("target", 1e-15, "target exceedance probability")
 	bench := flag.String("bench", "adpcm", "benchmark for -fig 3")
 	workersFlag := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	coarsenFlag := flag.String("coarsen", "least-error", "support-cap coarsening strategy: least-error or keep-heaviest")
 	flag.Parse()
 	if *workersFlag < 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: -workers %d is negative\n", *workersFlag)
@@ -49,6 +57,11 @@ func main() {
 	workers = *workersFlag
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	var err error
+	if coarsen, err = pwcet.ParseCoarsenStrategy(*coarsenFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(2)
 	}
 
 	switch *fig {
@@ -95,7 +108,7 @@ func motivation(name string, target float64) {
 	var queries []pwcet.Query
 	for _, pf := range pfails {
 		for _, m := range mechs {
-			queries = append(queries, pwcet.Query{Pfail: pf, Mechanism: m, TargetExceedance: target})
+			queries = append(queries, pwcet.Query{Pfail: pf, Mechanism: m, TargetExceedance: target, Coarsen: coarsen})
 		}
 	}
 	results, err := eng.AnalyzeBatch(queries)
@@ -178,7 +191,7 @@ func fig3(name string, pfail, target float64) {
 	order := []pwcet.Mechanism{pwcet.None, pwcet.SRB, pwcet.RW}
 	queries := make([]pwcet.Query, len(order))
 	for i, m := range order {
-		queries[i] = pwcet.Query{Pfail: pfail, Mechanism: m, TargetExceedance: target}
+		queries[i] = pwcet.Query{Pfail: pfail, Mechanism: m, TargetExceedance: target, Coarsen: coarsen}
 	}
 	batch, err := eng.AnalyzeBatch(queries)
 	if err != nil {
@@ -268,9 +281,9 @@ func computeFig4(pfail, target float64) []benchRow {
 					eng, err = pwcet.NewEngine(p, pwcet.EngineOptions{Workers: 1})
 					if err == nil {
 						results, err = eng.AnalyzeBatch([]pwcet.Query{
-							{Pfail: pfail, Mechanism: pwcet.None, TargetExceedance: target},
-							{Pfail: pfail, Mechanism: pwcet.RW, TargetExceedance: target},
-							{Pfail: pfail, Mechanism: pwcet.SRB, TargetExceedance: target},
+							{Pfail: pfail, Mechanism: pwcet.None, TargetExceedance: target, Coarsen: coarsen},
+							{Pfail: pfail, Mechanism: pwcet.RW, TargetExceedance: target, Coarsen: coarsen},
+							{Pfail: pfail, Mechanism: pwcet.SRB, TargetExceedance: target, Coarsen: coarsen},
 						})
 					}
 					if err == nil {

@@ -27,7 +27,8 @@
 //	  "targets": [1e-15],                      // omitted = [1e-15]
 //	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
 //	            "hit_latency": 1, "mem_latency": 100}, // omitted = paper cache
-//	  "max_support": 4096                      // omitted = default
+//	  "max_support": 4096,                     // omitted = default
+//	  "coarsen": "least-error"                 // or "keep-heaviest"; omitted = least-error
 //	}
 //
 // Each benchmark's queries share one engine: the cache fixpoints, the
@@ -67,6 +68,7 @@ type config struct {
 	mechs     []pwcet.Mechanism
 	pfail     float64
 	target    float64
+	coarsen   pwcet.CoarsenStrategy
 	workers   int
 	jsonOut   bool
 	curve     bool
@@ -92,6 +94,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&mech, "mech", "all", "reliability mechanism: none, rw, srb or all")
 	fs.Float64Var(&c.pfail, "pfail", 1e-4, "per-bit permanent failure probability, in [0,1]")
 	fs.Float64Var(&c.target, "target", 1e-15, "target exceedance probability, in (0,1)")
+	var coarsen string
+	fs.StringVar(&coarsen, "coarsen", "least-error", "support-cap coarsening strategy: least-error or keep-heaviest")
 	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages and batch scheduling (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON (with -bench or -batch)")
 	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve")
@@ -125,6 +129,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if c.validate < 0 {
 		return nil, usage("-validate %d is negative", c.validate)
+	}
+	var err error
+	if c.coarsen, err = pwcet.ParseCoarsenStrategy(coarsen); err != nil {
+		return nil, usage("%v", err)
 	}
 	if mech == "all" {
 		c.mechs = []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB}
@@ -167,7 +175,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		if c.batch != "" {
 			// The sweep specification owns these axes; silently dropping
 			// an explicit flag would mislead.
-			for _, name := range []string{"pfail", "target", "mech"} {
+			for _, name := range []string{"pfail", "target", "mech", "coarsen"} {
 				if explicit[name] {
 					return nil, usage("-%s cannot be combined with -batch (set it in the spec)", name)
 				}
@@ -231,6 +239,7 @@ type benchJSON struct {
 	Pfail      float64         `json:"pfail"`
 	PBF        float64         `json:"pbf"`
 	Target     float64         `json:"target"`
+	Coarsen    string          `json:"coarsen"`
 	HitRefs    int             `json:"hit_refs"`
 	FMRefs     int             `json:"fm_refs"`
 	MissRefs   int             `json:"miss_refs"`
@@ -289,6 +298,7 @@ func analyzeBench(stdout io.Writer, c *config) error {
 			Pfail:            c.pfail,
 			Mechanism:        m,
 			TargetExceedance: c.target,
+			Coarsen:          c.coarsen,
 			PreciseSRB:       c.precise && m == pwcet.SRB,
 		}
 	}
@@ -369,6 +379,7 @@ func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*co
 		Pfail:     c.pfail,
 		PBF:       first.Model.PBF,
 		Target:    c.target,
+		Coarsen:   c.coarsen.String(),
 		HitRefs:   first.HitRefs,
 		FMRefs:    first.FMRefs,
 		MissRefs:  first.MissRefs,
@@ -401,6 +412,10 @@ type batchSpec struct {
 	Targets    []float64  `json:"targets"`
 	Cache      *cacheJSON `json:"cache"`
 	MaxSupport int        `json:"max_support"`
+	Coarsen    string     `json:"coarsen"`
+
+	// coarsen is the parsed Coarsen field (least-error when omitted).
+	coarsen pwcet.CoarsenStrategy
 }
 
 // batchRow is one sweep point's outcome (also the -json row format).
@@ -443,6 +458,13 @@ func loadBatchSpec(path string) (*batchSpec, []pwcet.Mechanism, error) {
 	}
 	if spec.MaxSupport != 0 && spec.MaxSupport < 2 {
 		return nil, nil, fmt.Errorf("batch spec %s: max_support %d: need at least 2 support points (or 0 for the default)", path, spec.MaxSupport)
+	}
+	if spec.Coarsen != "" {
+		s, err := pwcet.ParseCoarsenStrategy(spec.Coarsen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
+		}
+		spec.coarsen = s
 	}
 	if len(spec.Benchmarks) == 0 {
 		spec.Benchmarks = pwcet.Benchmarks()
@@ -495,6 +517,7 @@ func runBatch(stdout io.Writer, c *config) error {
 						Mechanism:        m,
 						TargetExceedance: tg,
 						MaxSupport:       spec.MaxSupport,
+						Coarsen:          spec.coarsen,
 					})
 				}
 			}

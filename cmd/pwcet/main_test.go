@@ -47,6 +47,8 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		{"batch plus pfail", []string{"-batch", "x.json", "-pfail", "1e-3"}, "cannot be combined with -batch"},
 		{"batch plus mech", []string{"-batch", "x.json", "-mech", "srb"}, "cannot be combined with -batch"},
 		{"batch plus target", []string{"-batch", "x.json", "-target", "1e-9"}, "cannot be combined with -batch"},
+		{"batch plus coarsen", []string{"-batch", "x.json", "-coarsen", "keep-heaviest"}, "cannot be combined with -batch"},
+		{"bad coarsen", []string{"-bench", "bs", "-coarsen", "bogus"}, "unknown coarsening strategy"},
 		{"list plus json", []string{"-list", "-json"}, "requires -bench or -batch"},
 		{"all plus json", []string{"-all", "-json"}, "requires -bench or -batch"},
 		{"json plus validate", []string{"-bench", "bs", "-json", "-validate", "10"}, "not available with -json"},
@@ -247,6 +249,7 @@ func TestBatchSpecValidation(t *testing.T) {
 		{"bad mechanism", `{"pfails": [1e-4], "mechanisms": ["bogus"]}`, "unknown mechanism"},
 		{"bad benchmark", `{"pfails": [1e-4], "benchmarks": ["nope"]}`, "unknown benchmark"},
 		{"bad max_support", `{"pfails": [1e-4], "max_support": 1}`, "at least 2 support points"},
+		{"bad coarsen", `{"pfails": [1e-4], "coarsen": "bogus"}`, "unknown coarsening strategy"},
 		{"unknown field", `{"pfails": [1e-4], "wat": 1}`, "unknown field"},
 		{"syntax", `{`, "unexpected EOF"},
 	}
@@ -299,5 +302,55 @@ func TestBatchCustomCache(t *testing.T) {
 	}
 	if len(rows) != 1 || rows[0].PWCET != solo.PWCET {
 		t.Errorf("custom-cache batch rows %+v, want pWCET %d", rows, solo.PWCET)
+	}
+}
+
+// TestBatchCoarsenStrategy: the spec's coarsen field reaches every
+// query — rows match one-shot analyses run with the same strategy and
+// binding cap.
+func TestBatchCoarsenStrategy(t *testing.T) {
+	spec := `{
+		"benchmarks": ["bs"],
+		"pfails": [1e-3],
+		"mechanisms": ["none"],
+		"max_support": 8,
+		"coarsen": "keep-heaviest"
+	}`
+	code, stdout, stderr := runCmd(t, "-batch", writeSpec(t, spec), "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var rows []struct {
+		PWCET int64 `json:"pwcet"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rows); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pwcet.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := pwcet.Analyze(p, pwcet.Options{
+		Pfail: 1e-3, MaxSupport: 8, Coarsen: pwcet.CoarsenKeepHeaviest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].PWCET != solo.PWCET {
+		t.Errorf("coarsen batch rows %+v, want pWCET %d", rows, solo.PWCET)
+	}
+	// The single-benchmark JSON report echoes the strategy.
+	code, stdout, stderr = runCmd(t, "-bench", "bs", "-mech", "none", "-coarsen", "keep-heaviest", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var rep struct {
+		Coarsen string `json:"coarsen"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coarsen != "keep-heaviest" {
+		t.Errorf("report coarsen = %q, want keep-heaviest", rep.Coarsen)
 	}
 }

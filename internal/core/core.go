@@ -53,6 +53,13 @@ type Options struct {
 	TargetExceedance float64
 	// MaxSupport caps the convolution support size (default 4096).
 	MaxSupport int
+	// Coarsen selects the strategy that enforces MaxSupport on over-cap
+	// convolution partials. The zero value is dist.CoarsenLeastError,
+	// the tail-faithful default; dist.CoarsenKeepHeaviest reproduces
+	// the legacy keep-heaviest reduction. Both are sound upper bounds
+	// and byte-identical (the cap is a no-op) whenever the support
+	// never exceeds MaxSupport; they only diverge when the cap binds.
+	Coarsen dist.CoarsenStrategy
 	// PreciseSRB enables the refined SRB analysis of internal/core's
 	// precise.go (the paper's future-work item): per-set private SRB
 	// classification combined with the conservative one through a sound
@@ -104,6 +111,9 @@ func (o Options) validate() error {
 	if o.MaxSupport < 2 {
 		return fmt.Errorf("core: MaxSupport %d: need at least 2 support points (or 0 for the default %d)",
 			o.MaxSupport, DefaultMaxSupport)
+	}
+	if err := o.Coarsen.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", o.Workers)
@@ -254,14 +264,14 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 func (r *Result) buildDistributions(workers int) error {
 	cfg := r.Options.Cache
 	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-		dist.Degenerate(0), r.Options.MaxSupport, workers)
+		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Coarsen, workers)
 	if err != nil {
 		return err
 	}
 	r.PerSet = perSet
 	if r.DataFMM != nil {
 		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
-			r.Options.Mechanism, penalty, r.Options.MaxSupport, workers)
+			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers)
 		if err != nil {
 			return err
 		}
@@ -273,11 +283,12 @@ func (r *Result) buildDistributions(workers int) error {
 
 // convolveFMM convolves one cache's per-set penalty distributions into
 // an accumulator distribution. The per-set distributions are reduced by
-// dist.ConvolveAll's parallel pairwise tree (coarsening only the
-// partial products that exceed maxSupport) and the result is folded
-// into the accumulator; workers bounds the tree's parallelism.
+// dist.ConvolveAllWith's parallel pairwise tree (coarsening only the
+// partial products that exceed maxSupport, with the configured
+// strategy) and the result is folded into the accumulator; workers
+// bounds the tree's parallelism.
 func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.Mechanism,
-	acc *dist.Dist, maxSupport, workers int) ([]*dist.Dist, *dist.Dist, error) {
+	acc *dist.Dist, maxSupport int, strategy dist.CoarsenStrategy, workers int) ([]*dist.Dist, *dist.Dist, error) {
 	var pwf []float64
 	if mech == cache.MechanismRW {
 		pwf = fault.PWFReliableWay(cfg.Ways, model.PBF) // equation 3
@@ -299,8 +310,8 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 		}
 		perSet[s] = d
 	}
-	total := dist.ConvolveAll(perSet, maxSupport, workers)
-	acc = acc.Convolve(total).CoarsenTo(maxSupport)
+	total := dist.ConvolveAllWith(perSet, maxSupport, workers, strategy)
+	acc = acc.Convolve(total).CoarsenToWith(maxSupport, strategy)
 	return perSet, acc, nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cfg"
 	"repro/internal/chmc"
+	"repro/internal/dist"
 	"repro/internal/fault"
 	"repro/internal/ipet"
 	"repro/internal/program"
@@ -63,6 +64,16 @@ type Query struct {
 	TargetExceedance float64
 	// MaxSupport caps the convolution support size (default 4096).
 	MaxSupport int
+	// Coarsen selects the coarsening strategy enforcing MaxSupport
+	// (zero value: dist.CoarsenLeastError). The strategy only shapes
+	// the per-query distribution stage, which is never memoized: every
+	// cached artifact (classification, WCET, FMM) is a pure function of
+	// keys the strategy is not part of BECAUSE it cannot influence them
+	// — fault-miss counts are convolution-free. Two queries differing
+	// only in Coarsen therefore share every artifact and still can
+	// never alias each other's distributions or results (asserted by
+	// TestEngineCoarsenStrategyNoAliasing).
+	Coarsen dist.CoarsenStrategy
 	// PreciseSRB enables the refined SRB analysis (mixture bound).
 	PreciseSRB bool
 	// DataCache, when non-nil, additionally analyzes data accesses
@@ -78,6 +89,7 @@ func (q Query) options(workers int) Options {
 		Mechanism:        q.Mechanism,
 		TargetExceedance: q.TargetExceedance,
 		MaxSupport:       q.MaxSupport,
+		Coarsen:          q.Coarsen,
 		PreciseSRB:       q.PreciseSRB,
 		DataCache:        q.DataCache,
 		Workers:          workers,
@@ -92,6 +104,7 @@ func queryOf(o Options) Query {
 		Mechanism:        o.Mechanism,
 		TargetExceedance: o.TargetExceedance,
 		MaxSupport:       o.MaxSupport,
+		Coarsen:          o.Coarsen,
 		PreciseSRB:       o.PreciseSRB,
 		DataCache:        o.DataCache,
 	}

@@ -83,7 +83,7 @@ func (r *Result) attachPreciseSRB(fmm ipet.FMM, workers int) error {
 		}
 		perSet[s] = d
 	}
-	r.PenaltyPrecise = dist.ConvolveAll(perSet, r.Options.MaxSupport, workers)
+	r.PenaltyPrecise = dist.ConvolveAllWith(perSet, r.Options.MaxSupport, workers, r.Options.Coarsen)
 	r.ProbMultiFullSets = probMultiFullSets(r.Model.PBF, cfg.Sets, cfg.Ways)
 	r.PWCET = r.FaultFreeWCET + r.mixtureQuantile(r.Options.TargetExceedance)
 	return nil

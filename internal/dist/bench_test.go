@@ -70,13 +70,50 @@ func BenchmarkConvolve1kxSelf(b *testing.B) {
 	}
 }
 
-func benchmarkCoarsenTo(b *testing.B, n, maxSupport int) {
-	d := benchDist(n, 13)
+// benchWideDist builds an n-atom distribution whose values spread far
+// beyond maxDenseSpan, forcing Convolve onto the wide-span k-way-merge
+// path (the shape of the high levels of ConvolveAll's reduction tree).
+func benchWideDist(n int, seed int64) *Dist {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	v := int64(0)
+	for i := range pts {
+		pts[i] = Point{Value: v, Prob: 1}
+		v += int64(1 + rng.Intn(1<<24))
+	}
+	for i := range pts {
+		pts[i].Prob = 1 / float64(n)
+	}
+	d, err := New(pts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BenchmarkConvolveWideSpan measures the wide-span convolution path
+// that used to materialize and sort all n·m pairs (the sort-bound
+// stage of high ConvolveAll tree levels) and is now a k-way heap
+// merge.
+func BenchmarkConvolveWideSpan(b *testing.B) {
+	x := benchWideDist(2_000, 14)
+	y := benchWideDist(2_000, 15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = d.CoarsenTo(maxSupport)
+		_ = x.Convolve(y)
 	}
 }
 
-func BenchmarkCoarsenTo1k(b *testing.B)  { benchmarkCoarsenTo(b, 1_000, 256) }
-func BenchmarkCoarsenTo10k(b *testing.B) { benchmarkCoarsenTo(b, 10_000, 4096) }
+func benchmarkCoarsenTo(b *testing.B, n, maxSupport int, strategy CoarsenStrategy) {
+	d := benchDist(n, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.CoarsenToWith(maxSupport, strategy)
+	}
+}
+
+func BenchmarkCoarsenTo1k(b *testing.B)  { benchmarkCoarsenTo(b, 1_000, 256, CoarsenLeastError) }
+func BenchmarkCoarsenTo10k(b *testing.B) { benchmarkCoarsenTo(b, 10_000, 4096, CoarsenLeastError) }
+func BenchmarkCoarsenKeepHeaviest10k(b *testing.B) {
+	benchmarkCoarsenTo(b, 10_000, 4096, CoarsenKeepHeaviest)
+}

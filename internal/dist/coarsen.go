@@ -1,36 +1,249 @@
+// Support coarsening: bounding a distribution's support size without
+// ever under-approximating any exceedance probability.
+//
+// # Soundness contract (both strategies)
+//
+// Coarsening merges atoms by moving mass to a LARGER support value and
+// never anywhere else, so for every threshold t the coarsened
+// exceedance probability P(X > t) is >= the exact one: the result is a
+// sound (pessimistic) upper bound on the exceedance curve, the support
+// maximum is always retained, and total mass is conserved. Both
+// strategies are the identity — the receiver itself, bit for bit —
+// whenever the support already fits the cap, so results only change at
+// all when the cap binds.
+//
+// # CoarsenLeastError (default)
+//
+// Greedy adjacent merge by least exceedance-curve error. Merging atom i
+// upward into its right neighbor j raises the exceedance curve by
+// exactly mass(i) on the interval [v_i, v_j) and nowhere else, adding
+// area mass(i)·(v_j − v_i) between the coarse and exact curves. The
+// scheme repeatedly merges the adjacent pair with the smallest such
+// incremental area (a heap over candidate pairs with lazy
+// invalidation, O(n log n)), so light, closely spaced atoms — the deep
+// tail dust of a convolved fault distribution — collapse locally
+// instead of being flung to the support maximum. The total area added
+// to the exceedance curve is the sum of the chosen incremental costs;
+// each individual exceedance probability grows by at most the mass
+// merged across its threshold, and a quantile read at probability p
+// grows by at most the span of the merged run that straddles the exact
+// quantile. In the pWCET pipeline this keeps the deep-tail quantiles
+// (the 1e-9..1e-15 certification targets) within a small factor of the
+// uncapped-exact values even when the cap binds hard (pinned within 2x
+// at 1e-12 on a 256-set configuration by TestCoarsenLeastErrorTailFidelity).
+//
+// # CoarsenKeepHeaviest (legacy)
+//
+// The PR-1 scheme: keep the maxSupport heaviest atoms in place and
+// merge each lighter atom upward into the nearest retained atom above
+// it. Exact at every threshold at or above the lightest retained atom
+// when the dropped mass is negligible there — which is why it
+// reproduces the exact quantiles at the paper's 16-set configurations,
+// where the cap barely binds. Its failure mode is the deep tail: the
+// tail atoms are the lightest, so once the cap binds hard (far more
+// distinct sums than the cap accommodates, e.g. 256-set caches) every
+// sub-cap tail atom merges all the way into the support maximum and
+// the deepest quantiles jump to Max() — still sound, but ~20x
+// pessimistic at 1e-12 (pinned as the regression the default scheme
+// fixes, same test as above).
 package dist
 
-import "sort"
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
 
-// CoarsenTo bounds the support to at most maxSupport points. See the
-// package comment for the soundness contract: mass only ever moves to
-// a LARGER value, so for every t the coarsened P(X > t) is >= the
-// exact one — the result is a sound (pessimistic) upper bound on the
-// exceedance curve and never under-approximates any exceedance
-// probability.
-//
-// The scheme keeps the maxSupport heaviest atoms in place and merges
-// each lighter atom upward into the nearest retained atom above it.
-// The support maximum is always retained. Because the dropped atoms
-// are the lightest, every exceedance probability grows by at most the
-// dropped mass in its neighborhood — in the pWCET pipeline the atoms
-// that pin the deep-tail quantiles (the 1e-9..1e-15 certification
-// targets) usually carry more mass than the combinatorial dust beyond
-// them, so at the paper's configurations (16 sets, default cap 4096)
-// repeated convolve-then-coarsen folding reproduces the exact
-// quantiles. That precision is config-dependent, not guaranteed: when
-// the cap binds hard (far more sets than the cap accommodates), the
-// sub-cap tail atoms merge all the way into the maximum and the
-// deepest quantiles become pessimistic — still sound, but loose. A
-// tail-aware scheme is a ROADMAP item.
-//
-// A maxSupport <= 0 disables the cap entirely (returns the receiver
-// unchanged); callers own the support growth in that case.
+// CoarsenStrategy selects how CoarsenToWith reduces an over-cap
+// support. Both strategies obey the same soundness contract (see the
+// file comment); they differ only in which atoms merge and therefore
+// in how tight the coarsened exceedance curve stays.
+type CoarsenStrategy int
+
+const (
+	// CoarsenLeastError greedily merges the adjacent atom pair whose
+	// upward merge adds the least area to the exceedance curve. The
+	// default: tail-faithful when the cap binds, identical to
+	// CoarsenKeepHeaviest (the identity) when it does not.
+	CoarsenLeastError CoarsenStrategy = iota
+	// CoarsenKeepHeaviest keeps the heaviest atoms and merges each
+	// lighter atom into the nearest retained atom above it — the legacy
+	// scheme, kept for reproducing pre-tail-faithful results.
+	CoarsenKeepHeaviest
+)
+
+// String names the strategy (the spelling ParseCoarsenStrategy accepts).
+func (s CoarsenStrategy) String() string {
+	switch s {
+	case CoarsenLeastError:
+		return "least-error"
+	case CoarsenKeepHeaviest:
+		return "keep-heaviest"
+	default:
+		return fmt.Sprintf("coarsen-strategy(%d)", int(s))
+	}
+}
+
+// Validate rejects values that are not a known strategy.
+func (s CoarsenStrategy) Validate() error {
+	switch s {
+	case CoarsenLeastError, CoarsenKeepHeaviest:
+		return nil
+	default:
+		return fmt.Errorf("dist: unknown coarsening strategy %d (want %s or %s)",
+			int(s), CoarsenLeastError, CoarsenKeepHeaviest)
+	}
+}
+
+// ParseCoarsenStrategy converts "least-error" or "keep-heaviest" to a
+// CoarsenStrategy.
+func ParseCoarsenStrategy(s string) (CoarsenStrategy, error) {
+	switch s {
+	case "least-error":
+		return CoarsenLeastError, nil
+	case "keep-heaviest":
+		return CoarsenKeepHeaviest, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown coarsening strategy %q (want %q or %q)",
+			s, CoarsenLeastError.String(), CoarsenKeepHeaviest.String())
+	}
+}
+
+// CoarsenTo bounds the support to at most maxSupport points using the
+// default CoarsenLeastError strategy. A maxSupport <= 0 disables the
+// cap entirely (returns the receiver unchanged); callers own the
+// support growth in that case.
 func (d *Dist) CoarsenTo(maxSupport int) *Dist {
-	n := len(d.values)
-	if maxSupport <= 0 || n <= maxSupport {
+	return d.CoarsenToWith(maxSupport, CoarsenLeastError)
+}
+
+// CoarsenToWith bounds the support to at most maxSupport points with
+// the given strategy. See the file comment for the shared soundness
+// contract and the per-strategy precision characteristics. It returns
+// the receiver unchanged when maxSupport <= 0 (cap disabled) or the
+// support already fits, and panics on an unknown strategy (callers
+// exposing the strategy as configuration should Validate it first).
+func (d *Dist) CoarsenToWith(maxSupport int, strategy CoarsenStrategy) *Dist {
+	if maxSupport <= 0 || len(d.values) <= maxSupport {
 		return d
 	}
+	switch strategy {
+	case CoarsenLeastError:
+		return d.coarsenLeastError(maxSupport)
+	case CoarsenKeepHeaviest:
+		return d.coarsenKeepHeaviest(maxSupport)
+	default:
+		panic(fmt.Sprintf("dist: CoarsenToWith: %v", strategy.Validate()))
+	}
+}
+
+// mergeCand is one candidate adjacent merge: atom left into its
+// current right neighbor, at the exceedance-area cost recorded when
+// the candidate was pushed. Stale candidates (the pair changed since)
+// are recognized by the version stamp and skipped on pop.
+type mergeCand struct {
+	cost float64
+	left int
+	ver  uint32
+}
+
+// mergeHeap is a min-heap of merge candidates ordered by cost, ties
+// broken by the left index so the merge sequence — and therefore the
+// result — is deterministic.
+type mergeHeap []mergeCand
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].left < h[j].left
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeCand)) }
+func (h *mergeHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// coarsenLeastError implements CoarsenLeastError: a doubly linked list
+// of live atoms plus a lazily invalidated min-heap of adjacent-pair
+// merge costs. Each merge moves the left atom's (accumulated) mass to
+// its right neighbor, exactly the upward direction the soundness
+// contract requires; the rightmost atom has no right neighbor, so the
+// support maximum can never move.
+func (d *Dist) coarsenLeastError(maxSupport int) *Dist {
+	n := len(d.values)
+	mass := make([]float64, n)
+	copy(mass, d.probs)
+	next := make([]int, n)
+	prev := make([]int, n)
+	ver := make([]uint32, n)
+	removed := make([]bool, n)
+	for i := range next {
+		next[i] = i + 1
+		prev[i] = i - 1
+	}
+	h := make(mergeHeap, 0, n)
+	// The gap is computed in float64 (values are sorted, but the int64
+	// difference of two extreme values may not fit int64); the cost is
+	// a merge-ordering heuristic, so the rounding is harmless.
+	push := func(i int) {
+		j := next[i]
+		h = append(h, mergeCand{
+			cost: mass[i] * (float64(d.values[j]) - float64(d.values[i])),
+			left: i,
+			ver:  ver[i],
+		})
+	}
+	for i := 0; i < n-1; i++ {
+		push(i)
+	}
+	heap.Init(&h)
+	// Invariant: every live adjacent pair (i, next[i]) has at least one
+	// heap candidate stamped with the current ver[i]; any change to the
+	// pair (partner or mass) bumps ver[i] and re-pushes. With alive >
+	// maxSupport >= 1 there is always a live pair, so the heap cannot
+	// run dry before the support fits.
+	for alive := n; alive > maxSupport; {
+		c := heap.Pop(&h).(mergeCand)
+		if c.ver != ver[c.left] {
+			continue // stale: the pair changed after this candidate was pushed
+		}
+		i := c.left
+		j := next[i]
+		mass[j] += mass[i]
+		removed[i] = true
+		ver[i]++ // i is gone: invalidate (i, j)
+		ver[j]++ // j's mass grew: invalidate (j, next[j])
+		if p := prev[i]; p >= 0 {
+			next[p] = j
+			prev[j] = p
+			ver[p]++ // p's partner changed: invalidate (p, i)
+			push(p)
+			heap.Fix(&h, len(h)-1)
+		} else {
+			prev[j] = -1
+		}
+		if next[j] < n {
+			push(j)
+			heap.Fix(&h, len(h)-1)
+		}
+		alive--
+	}
+	values := make([]int64, 0, maxSupport)
+	probs := make([]float64, 0, maxSupport)
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			values = append(values, d.values[i])
+			probs = append(probs, mass[i])
+		}
+	}
+	return fromSorted(values, probs)
+}
+
+// coarsenKeepHeaviest implements CoarsenKeepHeaviest: rank atoms by
+// mass, keep the maxSupport heaviest, and merge every dropped atom
+// upward into the next retained atom.
+func (d *Dist) coarsenKeepHeaviest(maxSupport int) *Dist {
+	n := len(d.values)
 	// Rank atoms by mass, excluding the maximum (index n-1), which is
 	// always retained so upward merges never lack a destination. Ties
 	// break by index for determinism.

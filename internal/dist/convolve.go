@@ -1,6 +1,9 @@
 package dist
 
-import "sort"
+import (
+	"fmt"
+	"math"
+)
 
 // maxDenseSpan caps the dense accumulator at 4M float64 cells (32 MB)
 // no matter how many pairs a convolution produces.
@@ -8,7 +11,8 @@ const maxDenseSpan = 1 << 22
 
 // Convolve returns the distribution of the sum of two independent
 // random variables. This is the analysis hot path — convolveFMM folds
-// it once per cache set — so it avoids map churn entirely:
+// it once per cache set and ConvolveAll runs it at every tree level —
+// so it avoids map churn entirely:
 //
 //   - a degenerate operand turns the convolution into a Shift;
 //   - when the result's value span is small relative to the number of
@@ -16,30 +20,52 @@ const maxDenseSpan = 1 << 22
 //     granularity), products are accumulated into a single
 //     preallocated buffer indexed by value offset, O(n·m) with no
 //     sorting and no allocation beyond the buffer and the result;
-//   - otherwise the pairs are materialized into one preallocated
-//     slice, sorted, and merged.
+//   - otherwise — wide-span operands, the shape of the high levels of
+//     ConvolveAll's reduction tree — the n sorted per-atom sum streams
+//     are merged through a deterministic k-way heap, O(n·m·log k) with
+//     k = min(n, m) and O(k) extra memory, instead of materializing
+//     and sorting all n·m pairs.
 //
 // Total mass is conserved to floating-point accuracy (the result's
 // mass is the product of the operands' masses); no renormalization
 // happens. Pair products that underflow to exactly 0 are dropped on
 // both paths, preserving the probs[i] > 0 invariant (the lost mass is
 // below the smallest subnormal, far under any tolerance here).
+//
+// Convolve panics when an extreme pair sum (Min+Min or Max+Max) would
+// overflow int64 — like Shift, silently wrapping would corrupt the
+// value domain and with it the soundness contract.
 func (d *Dist) Convolve(o *Dist) *Dist {
-	if len(d.values) == 1 {
+	n, m := len(d.values), len(o.values)
+	checkSumOverflow(d.values[0], o.values[0])
+	checkSumOverflow(d.values[n-1], o.values[m-1])
+	if n == 1 {
 		// P(X = v) = 1: the sum is o shifted by v, scaled by the
 		// (unit) mass.
 		return o.Shift(d.values[0])
 	}
-	if len(o.values) == 1 {
+	if m == 1 {
 		return d.Shift(o.values[0])
 	}
-	n, m := len(d.values), len(o.values)
 	base := d.values[0] + o.values[0]
-	span := (d.values[n-1] + o.values[m-1]) - base + 1
-	if span <= int64(denseLimit(n*m)) {
-		return d.convolveDense(o, base, int(span))
+	// The span is compared as (span - 1) in uint64: the difference of
+	// the two extreme sums always fits there even when it exceeds
+	// MaxInt64 — including the extreme case where it is 2^64 - 1 and
+	// span itself would wrap to 0.
+	diff := uint64(d.values[n-1]+o.values[m-1]) - uint64(base)
+	if diff < uint64(denseLimit(n*m)) {
+		return d.convolveDense(o, base, int(diff)+1)
 	}
-	return d.convolveSparse(o)
+	return d.convolveKWay(o)
+}
+
+// checkSumOverflow panics when a+b is not representable in int64. The
+// interior pair sums of a convolution are bracketed by the extreme
+// ones, so Convolve only needs this at the two extremes.
+func checkSumOverflow(a, b int64) {
+	if (b > 0 && a > math.MaxInt64-b) || (b < 0 && a < math.MinInt64-b) {
+		panic(fmt.Sprintf("dist: Convolve overflows int64: %d + %d is not representable", a, b))
+	}
 }
 
 // denseLimit bounds the dense accumulator size: proportional to the
@@ -80,17 +106,86 @@ func (d *Dist) convolveDense(o *Dist, base int64, span int) *Dist {
 	return fromSorted(values, probs)
 }
 
-// convolveSparse materializes all value pairs, sorts them once, and
-// merges equal values. Used when the value span is too wide for the
-// dense buffer.
-func (d *Dist) convolveSparse(o *Dist) *Dist {
-	pairs := make([]Point, 0, len(d.values)*len(o.values))
-	for i, vi := range d.values {
-		pi := d.probs[i]
-		for j, vj := range o.values {
-			pairs = append(pairs, Point{Value: vi + vj, Prob: pi * o.probs[j]})
+// streamHead is one k-way-merge cursor: the next unconsumed sum of
+// stream i (the i-th atom of the smaller operand paired with the
+// ascending atoms of the larger one).
+type streamHead struct {
+	sum int64
+	i   int32
+}
+
+// convolveKWay merges the k sorted per-atom sum streams of the smaller
+// operand with a binary min-heap, accumulating equal sums as they pop
+// out in order. Used when the value span is too wide for the dense
+// buffer: O(n·m·log k) time and O(k) transient memory replace the old
+// materialize-and-sort path's O(n·m) pair buffer and O(n·m·log(n·m))
+// sort, which made high ConvolveAll tree levels sort-bound.
+//
+// The heap orders by (sum, stream index), so pops — and with them the
+// per-value accumulation order — are a pure function of the operands:
+// the result is deterministic, and for every output value the
+// contributions are summed in ascending stream order, the same order
+// the dense path uses.
+func (d *Dist) convolveKWay(o *Dist) *Dist {
+	if len(d.values) > len(o.values) {
+		d, o = o, d
+	}
+	k, m := len(d.values), len(o.values)
+	h := make([]streamHead, k)
+	ptr := make([]int, k)
+	for i := range h {
+		h[i] = streamHead{sum: d.values[i] + o.values[0], i: int32(i)}
+	}
+	less := func(a, b streamHead) bool {
+		return a.sum < b.sum || (a.sum == b.sum && a.i < b.i)
+	}
+	siftDown := func(root int) {
+		for {
+			child := 2*root + 1
+			if child >= len(h) {
+				return
+			}
+			if r := child + 1; r < len(h) && less(h[r], h[child]) {
+				child = r
+			}
+			if !less(h[child], h[root]) {
+				return
+			}
+			h[root], h[child] = h[child], h[root]
+			root = child
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Value < pairs[j].Value })
-	return fromSorted(mergeSortedPoints(pairs))
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	// Wide-span operands rarely collide on sums, so the output is
+	// usually close to k·m atoms; presize for it (bounded, so a huge
+	// convolution starts at a sane capacity and grows from there).
+	est := k * m
+	if est > 1<<22 {
+		est = 1 << 22
+	}
+	values := make([]int64, 0, est)
+	probs := make([]float64, 0, est)
+	for len(h) > 0 {
+		top := h[0]
+		i := int(top.i)
+		p := d.probs[i] * o.probs[ptr[i]]
+		if last := len(values) - 1; last >= 0 && values[last] == top.sum {
+			probs[last] += p
+		} else if p > 0 {
+			values = append(values, top.sum)
+			probs = append(probs, p)
+		}
+		ptr[i]++
+		if ptr[i] < m {
+			h[0].sum = d.values[i] + o.values[ptr[i]]
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
+	}
+	return fromSorted(values, probs)
 }

@@ -26,15 +26,17 @@
 // CoarsenTo, Shift) conserve total mass to floating-point accuracy and
 // never renormalize.
 //
-// # Soundness contract of CoarsenTo
+// # Soundness contract of coarsening
 //
-// CoarsenTo bounds the support size by merging runs of adjacent atoms,
-// moving each atom's mass to the LARGEST value of its run (the support
-// maximum is always retained). Mass therefore only ever moves upward,
-// so for every threshold t the coarsened exceedance probability is >=
-// the exact one: the coarsened distribution is a sound (pessimistic)
-// upper bound on the exceedance curve, and any pWCET quantile read
-// from it can only grow. It never under-approximates exceedance.
+// CoarsenTo and CoarsenToWith bound the support size by merging atoms,
+// always moving mass to a LARGER value (the support maximum is always
+// retained). Mass therefore only ever moves upward, so for every
+// threshold t the coarsened exceedance probability is >= the exact
+// one: the coarsened distribution is a sound (pessimistic) upper bound
+// on the exceedance curve, and any pWCET quantile read from it can
+// only grow. It never under-approximates exceedance. The contract
+// holds for every CoarsenStrategy; the strategies differ only in how
+// tight the bound stays (see coarsen.go).
 package dist
 
 import (
@@ -194,7 +196,11 @@ func (d *Dist) Curve() []Point {
 	return pts
 }
 
-// CCDF returns the exceedance probability P(X > t).
+// CCDF returns the exceedance probability P(X > t). For t below the
+// support minimum it returns the total Mass() — exactly 1 after New,
+// but possibly a few ulps away after long operation chains, since
+// operations conserve mass only to floating-point accuracy and never
+// renormalize.
 func (d *Dist) CCDF(t int64) float64 {
 	i := sort.Search(len(d.values), func(i int) bool { return d.values[i] > t })
 	if i == 0 {
@@ -206,7 +212,10 @@ func (d *Dist) CCDF(t int64) float64 {
 // QuantileExceedance returns the smallest support value t with
 // P(X > t) <= p: the tightest bound whose exceedance probability meets
 // the target. It is monotone non-increasing in p and returns Max()
-// for p <= 0.
+// for p <= 0 — at p == 0 exactly, Max() is the unique answer, because
+// CCDF(Max()) == 0 by construction while every smaller support value
+// keeps a strictly positive exceedance (all atoms carry positive
+// mass).
 func (d *Dist) QuantileExceedance(p float64) int64 {
 	i := sort.Search(len(d.ccdf), func(i int) bool { return d.ccdf[i] <= p })
 	// Always found: ccdf[len-1] == 0 <= p for any p >= 0, and a
@@ -218,7 +227,15 @@ func (d *Dist) QuantileExceedance(p float64) int64 {
 }
 
 // Quantile returns the smallest support value v with P(X <= v) >= p
-// (the usual CDF quantile). For p > 1 it returns Max().
+// (the usual CDF quantile). The CDF's supremum is Mass() — exactly 1
+// after New, but possibly a few ulps below after long operation chains
+// — so the boundary behavior is defined in terms of Mass(), not 1:
+//
+//   - p > Mass() (which includes every p > 1): no support value
+//     qualifies; Quantile returns Max(), the sound top of the support.
+//   - p == Mass(): returns Max(), the unique value whose CDF reaches
+//     the full mass (every atom carries strictly positive probability).
+//   - p <= 0: every value qualifies; returns Min().
 func (d *Dist) Quantile(p float64) int64 {
 	mass := d.Mass()
 	i := sort.Search(len(d.values), func(i int) bool { return mass-d.ccdf[i] >= p })
@@ -230,9 +247,22 @@ func (d *Dist) Quantile(p float64) int64 {
 
 // Shift returns the distribution of X + delta. The probability
 // vectors are shared with the receiver (both are immutable).
+//
+// Shift panics when v + delta overflows int64 for any support value:
+// silently wrapping would teleport tail mass to the bottom of the
+// value domain and break the soundness contract (an adversarial
+// penalty or WCET sum must fail loudly, not produce an optimistic
+// curve). Since the support is sorted it suffices to check the
+// extremes, which is what the implementation does.
 func (d *Dist) Shift(delta int64) *Dist {
 	if delta == 0 {
 		return d
+	}
+	if bound := d.values[len(d.values)-1]; delta > 0 && bound > math.MaxInt64-delta {
+		panic(fmt.Sprintf("dist: Shift overflows int64: value %d + delta %d is not representable", bound, delta))
+	}
+	if bound := d.values[0]; delta < 0 && bound < math.MinInt64-delta {
+		panic(fmt.Sprintf("dist: Shift overflows int64: value %d + delta %d is not representable", bound, delta))
 	}
 	values := make([]int64, len(d.values))
 	for i, v := range d.values {

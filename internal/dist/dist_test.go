@@ -2,6 +2,7 @@ package dist
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -188,10 +189,10 @@ func TestConvolveDegenerateIsShift(t *testing.T) {
 	}
 }
 
-// TestConvolveSparsePath forces the wide-span fallback (values too
-// spread out for the dense accumulator) and checks it against brute
-// force.
-func TestConvolveSparsePath(t *testing.T) {
+// TestConvolveWidePath forces the wide-span k-way-merge fallback
+// (values too spread out for the dense accumulator) and checks it
+// against brute force.
+func TestConvolveWidePath(t *testing.T) {
 	a := mustNew(t, []Point{{0, 0.5}, {1 << 40, 0.5}})
 	b := mustNew(t, []Point{{7, 0.25}, {1 << 41, 0.75}})
 	c := a.Convolve(b)
@@ -204,6 +205,81 @@ func TestConvolveSparsePath(t *testing.T) {
 			t.Errorf("P(X=%d) = %g, brute force %g", p.Value, p.Prob, brute[p.Value])
 		}
 	}
+}
+
+// TestConvolveWidePathRandom drives the k-way merge with larger random
+// wide-span operands — including colliding sums, asymmetric operand
+// sizes and negative values — and checks support, mass and every
+// probability against brute force.
+func TestConvolveWidePathRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		na, nb := 1+rng.Intn(40), 1+rng.Intn(40)
+		mk := func(n int) *Dist {
+			pts := make([]Point, n)
+			for i := range pts {
+				// A wide base offset forces the k-way path; a small
+				// additive grid makes distinct atoms collide on sums.
+				v := int64(rng.Intn(50))*(1<<35) + int64(rng.Intn(8)) - (1 << 38)
+				pts[i] = Point{Value: v, Prob: 1}
+			}
+			for i := range pts {
+				pts[i].Prob = 1 / float64(n)
+			}
+			d, err := New(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+		a, b := mk(na), mk(nb)
+		c := a.Convolve(b)
+		brute := bruteConvolve(a, b)
+		if c.Len() != len(brute) {
+			t.Fatalf("support size %d, want %d", c.Len(), len(brute))
+		}
+		var mass float64
+		for _, p := range c.Points() {
+			if math.Abs(p.Prob-brute[p.Value]) > 1e-12 {
+				t.Fatalf("P(X=%d) = %g, brute force %g", p.Value, p.Prob, brute[p.Value])
+			}
+			mass += p.Prob
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("mass drifted to %g", mass)
+		}
+	}
+}
+
+// TestConvolveFullDomainSpan: operands whose sum range covers the
+// entire int64 domain (span - 1 == 2^64 - 1) must take the wide path,
+// not wrap the span to 0 and panic in the dense accumulator.
+func TestConvolveFullDomainSpan(t *testing.T) {
+	a := mustNew(t, []Point{{math.MinInt64, 0.5}, {0, 0.5}})
+	b := mustNew(t, []Point{{0, 0.25}, {math.MaxInt64, 0.75}})
+	c := a.Convolve(b)
+	brute := bruteConvolve(a, b)
+	if c.Len() != len(brute) {
+		t.Fatalf("support size %d, want %d", c.Len(), len(brute))
+	}
+	for _, p := range c.Points() {
+		if math.Abs(p.Prob-brute[p.Value]) > 1e-15 {
+			t.Errorf("P(X=%d) = %g, brute force %g", p.Value, p.Prob, brute[p.Value])
+		}
+	}
+}
+
+// TestConvolveOverflowPanics: a pair sum outside int64 must fail
+// loudly instead of wrapping into the bottom of the value domain.
+func TestConvolveOverflowPanics(t *testing.T) {
+	a := mustNew(t, []Point{{math.MaxInt64 - 10, 0.5}, {0, 0.5}})
+	b := mustNew(t, []Point{{100, 0.5}, {0, 0.5}})
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "overflows int64") {
+			t.Fatalf("recover() = %v, want overflow panic", r)
+		}
+	}()
+	a.Convolve(b)
 }
 
 func TestShift(t *testing.T) {
@@ -220,6 +296,96 @@ func TestShift(t *testing.T) {
 	}
 	if d.Min() != 0 {
 		t.Error("Shift mutated the receiver")
+	}
+}
+
+// TestShiftOverflowPanics: v + delta wrapping past either end of
+// int64 must panic with a clear message, not silently corrupt the
+// support (the adversarial penalty/WCET-sum regression).
+func TestShiftOverflowPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		pts   []Point
+		delta int64
+	}{
+		{"positive", []Point{{0, 0.5}, {math.MaxInt64 - 5, 0.5}}, 10},
+		{"negative", []Point{{math.MinInt64 + 5, 0.5}, {0, 0.5}}, -10},
+		{"max delta", []Point{{1, 1}}, math.MaxInt64},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := mustNew(t, c.pts)
+			defer func() {
+				if r := recover(); r == nil || !strings.Contains(r.(string), "overflows int64") {
+					t.Fatalf("recover() = %v, want overflow panic", r)
+				}
+			}()
+			d.Shift(c.delta)
+		})
+	}
+	// The extremes staying in range must keep working, including at the
+	// exact boundary.
+	d := mustNew(t, []Point{{0, 0.5}, {math.MaxInt64 - 10, 0.5}})
+	if s := d.Shift(10); s.Max() != math.MaxInt64 {
+		t.Errorf("boundary shift Max = %d", s.Max())
+	}
+}
+
+// TestQuantileBoundarySemantics pins the documented boundary behavior
+// of Quantile, QuantileExceedance and CCDF on a sub-unit-mass
+// distribution (as arises after long mass-conserving-but-not-
+// renormalizing operation chains; built directly via fromSorted so the
+// boundary probabilities are exact powers of two). The doc promises:
+// Quantile returns Max() for every p > Mass() — not only p > 1 — and
+// at p == Mass(); Min() for p <= 0; QuantileExceedance returns Max()
+// at p == 0; CCDF below the support minimum is Mass(), not 1.
+func TestQuantileBoundarySemantics(t *testing.T) {
+	sub := fromSorted([]int64{0, 10, 20}, []float64{0.5, 0.25, 0.125})
+	if m := sub.Mass(); m != 0.875 {
+		t.Fatalf("test construction: Mass = %g, want 0.875", m)
+	}
+	q := []struct {
+		p    float64
+		want int64
+	}{
+		{-1, 0}, {0, 0}, {0.5, 0}, {0.75, 10}, {0.8, 20},
+		{0.875, 20},         // p == Mass(): the full-mass value
+		{0.875 + 1e-12, 20}, // p slightly above Mass(): clamps to Max
+		{0.9, 20}, {1, 20},  // p in (Mass, 1]: same clamp, per the doc
+		{2, 20}, // p > 1: the historically documented case
+	}
+	for _, c := range q {
+		if got := sub.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	qe := []struct {
+		p    float64
+		want int64
+	}{
+		{0.875, 0}, {0.375, 0}, {0.375 - 1e-12, 10}, {0.125, 10},
+		{0.1, 20},
+		{0, 20},  // p == 0: CCDF(Max) == 0 is the only qualifying value
+		{-1, 20}, // p < 0: same clamp
+	}
+	for _, c := range qe {
+		if got := sub.QuantileExceedance(c.p); got != c.want {
+			t.Errorf("QuantileExceedance(%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	for _, tt := range []int64{-100, -1} {
+		if got := sub.CCDF(tt); got != 0.875 {
+			t.Errorf("CCDF(%d) = %g, want Mass() = 0.875", tt, got)
+		}
+	}
+	// A unit-mass distribution keeps the familiar behavior: Mass() == 1
+	// and p == 1 selects Max().
+	unit := mustNew(t, []Point{{0, 0.5}, {10, 0.5}})
+	if got := unit.Quantile(1); got != 10 {
+		t.Errorf("unit Quantile(1) = %d, want 10", got)
+	}
+	if got := unit.Quantile(math.Nextafter(1, 2)); got != 10 {
+		t.Errorf("unit Quantile(1+ulp) = %d, want 10", got)
 	}
 }
 

@@ -11,6 +11,76 @@ import (
 // with an error or produce a well-formed distribution — sorted unique
 // support, strictly positive atoms, unit mass — whose Points rebuild
 // the identical distribution. No input may panic.
+// FuzzCoarsenToWith feeds arbitrary byte-derived distributions and cap
+// sizes to both coarsening strategies and checks the soundness
+// contract that must hold for any input: the cap is respected, the
+// support maximum survives, mass is conserved, the exact distribution
+// is stochastically dominated (mass only ever moved upward), and the
+// default-strategy shorthand CoarsenTo agrees with CoarsenToWith.
+func FuzzCoarsenToWith(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1}, uint8(1), false)
+	seed := make([]byte, 45)
+	for i := 8; i < len(seed); i += 9 {
+		seed[i-1] = byte(i) // spread values
+		seed[i] = byte(1 + i%7)
+	}
+	f.Add(seed, uint8(2), true)
+	f.Add(seed, uint8(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, cap8 uint8, heaviest bool) {
+		// Decode 9-byte records like FuzzNew: 8 bytes of value, 1 byte
+		// of weight, normalized to unit mass.
+		var pts []Point
+		var sum float64
+		for len(data) >= 9 {
+			v := int64(binary.LittleEndian.Uint64(data[:8]))
+			w := float64(data[8])
+			pts = append(pts, Point{Value: v, Prob: w})
+			sum += w
+			data = data[9:]
+		}
+		if sum == 0 {
+			return
+		}
+		for i := range pts {
+			pts[i].Prob /= sum
+		}
+		d, err := New(pts)
+		if err != nil {
+			t.Fatalf("New rejected normalized input: %v", err)
+		}
+		maxSupport := 1 + int(cap8)
+		strategy := CoarsenLeastError
+		if heaviest {
+			strategy = CoarsenKeepHeaviest
+		}
+		c := d.CoarsenToWith(maxSupport, strategy)
+		if c.Len() > maxSupport {
+			t.Fatalf("%v: support %d exceeds cap %d", strategy, c.Len(), maxSupport)
+		}
+		if c.Max() != d.Max() {
+			t.Fatalf("%v: support maximum moved from %d to %d", strategy, d.Max(), c.Max())
+		}
+		if m := c.Mass(); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("%v: mass drifted to %g", strategy, m)
+		}
+		if !d.DominatedBy(c, 1e-12) {
+			t.Fatalf("%v: coarsened distribution does not dominate the exact one", strategy)
+		}
+		if strategy == CoarsenLeastError {
+			ref := d.CoarsenTo(maxSupport)
+			if ref.Len() != c.Len() {
+				t.Fatalf("CoarsenTo disagrees with CoarsenToWith(least-error): %d vs %d atoms", ref.Len(), c.Len())
+			}
+			rp := ref.Points()
+			for i, p := range c.Points() {
+				if p != rp[i] {
+					t.Fatalf("CoarsenTo disagrees at atom %d: %+v vs %+v", i, p, rp[i])
+				}
+			}
+		}
+	})
+}
+
 func FuzzNew(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1})

@@ -25,7 +25,19 @@ import (
 // even workers=1 typically beats the fold on many-set configurations.
 //
 // An empty ds yields Degenerate(0), the neutral element of convolution.
+//
+// ConvolveAll coarsens with the default CoarsenLeastError strategy;
+// ConvolveAllWith selects the strategy explicitly.
 func ConvolveAll(ds []*Dist, maxSupport, workers int) *Dist {
+	return ConvolveAllWith(ds, maxSupport, workers, CoarsenLeastError)
+}
+
+// ConvolveAllWith is ConvolveAll with an explicit coarsening strategy
+// applied to every over-cap partial product (and the final result).
+// The strategy never changes which pairs convolve — only how each
+// partial is reduced — so the same worker-count independence holds for
+// every strategy.
+func ConvolveAllWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy) *Dist {
 	if len(ds) == 0 {
 		return Degenerate(0)
 	}
@@ -46,7 +58,7 @@ func ConvolveAll(ds []*Dist, maxSupport, workers int) *Dist {
 		}
 		if w <= 1 {
 			for i := 0; i < pairs; i++ {
-				next[i] = level[2*i].Convolve(level[2*i+1]).CoarsenTo(maxSupport)
+				next[i] = level[2*i].Convolve(level[2*i+1]).CoarsenToWith(maxSupport, strategy)
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -56,7 +68,7 @@ func ConvolveAll(ds []*Dist, maxSupport, workers int) *Dist {
 				go func() {
 					defer wg.Done()
 					for i := range jobs {
-						next[i] = level[2*i].Convolve(level[2*i+1]).CoarsenTo(maxSupport)
+						next[i] = level[2*i].Convolve(level[2*i+1]).CoarsenToWith(maxSupport, strategy)
 					}
 				}()
 			}
@@ -68,5 +80,5 @@ func ConvolveAll(ds []*Dist, maxSupport, workers int) *Dist {
 		}
 		level = next
 	}
-	return level[0].CoarsenTo(maxSupport)
+	return level[0].CoarsenToWith(maxSupport, strategy)
 }

@@ -104,6 +104,11 @@ type (
 	Dist = dist.Dist
 	// Point is one (value, probability) atom of a distribution.
 	Point = dist.Point
+	// CoarsenStrategy selects how over-cap penalty supports are
+	// coarsened (Options.Coarsen / Query.Coarsen). Both strategies are
+	// sound exceedance upper bounds; see CoarsenLeastError and
+	// CoarsenKeepHeaviest.
+	CoarsenStrategy = dist.CoarsenStrategy
 	// FMM is the Fault Miss Map: FMM[set][faultyBlocks] bounds the
 	// fault-induced misses.
 	FMM = ipet.FMM
@@ -139,6 +144,25 @@ const (
 	SRB = cache.MechanismSRB
 )
 
+// Coarsening strategies for the convolution support cap. The default
+// CoarsenLeastError merges the adjacent atom pair adding the least
+// exceedance-curve error, which keeps the deep-tail quantiles (the
+// 1e-9..1e-15 certification targets) within a small factor of the
+// uncapped-exact values even when the cap binds hard; the legacy
+// CoarsenKeepHeaviest keeps the heaviest atoms and reproduces the
+// pre-tail-faithful results. When the cap never binds the strategies
+// are byte-identical (the cap is a no-op).
+const (
+	CoarsenLeastError   = dist.CoarsenLeastError
+	CoarsenKeepHeaviest = dist.CoarsenKeepHeaviest
+)
+
+// ParseCoarsenStrategy converts "least-error" or "keep-heaviest" to a
+// CoarsenStrategy (the spellings CoarsenStrategy.String returns).
+func ParseCoarsenStrategy(s string) (CoarsenStrategy, error) {
+	return dist.ParseCoarsenStrategy(s)
+}
+
 // DefaultTargetExceedance is the paper's 1e-15 target probability.
 const DefaultTargetExceedance = core.DefaultTargetExceedance
 
@@ -172,6 +196,7 @@ func Analyze(p *Program, opt Options) (*Result, error) {
 		Mechanism:        opt.Mechanism,
 		TargetExceedance: opt.TargetExceedance,
 		MaxSupport:       opt.MaxSupport,
+		Coarsen:          opt.Coarsen,
 		PreciseSRB:       opt.PreciseSRB,
 		DataCache:        opt.DataCache,
 	})
