@@ -143,7 +143,10 @@ func BenchmarkIPETWCET(b *testing.B) {
 }
 
 // BenchmarkFMM profiles the full fault-miss-map computation (S*W warm
-// ILP solves plus per-set reclassification) on adpcm.
+// ILP solves plus per-set reclassification) on adpcm. Workers is
+// pinned to 1 so ns/op and allocs/op are independent of the runner's
+// core count — the committed baseline must gate on any machine;
+// BenchmarkComputeFMMWorkers covers the parallel scaling.
 func BenchmarkFMM(b *testing.B) {
 	p := malardalen.MustGet("adpcm")
 	cfg := cache.PaperConfig()
@@ -155,7 +158,31 @@ func BenchmarkFMM(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{Mechanism: cache.MechanismNone}); err != nil {
+		if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{Mechanism: cache.MechanismNone, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFMMReference is BenchmarkFMM on the retained reference
+// implementations — the dense uncompacted simplex and the map-based
+// abstract domain — i.e. the hot path with compaction, sparse pivoting,
+// dirty-row restores and the per-set index all off. Recording both
+// keeps the optimized-vs-reference gap visible in every baseline (the
+// results are byte-identical; only the cost differs). Workers pinned
+// to 1 like BenchmarkFMM, for machine-independent metrics.
+func BenchmarkFMMReference(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	a := absint.NewReference(p, cfg)
+	classes := a.ClassifyAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := ipet.NewReferenceSystem(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ipet.ComputeFMM(sys, a, classes, ipet.FMMOptions{Mechanism: cache.MechanismNone, Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

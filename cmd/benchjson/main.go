@@ -46,6 +46,15 @@
 // whose only overlap with the baseline is the reference fails like a
 // zero-overlap run instead of passing vacuously. The absolute mode
 // remains the fallback when -normalize is not given.
+//
+// With -allocthreshold the gate additionally compares the allocs/op
+// metric of benchmarks run under `go test -benchmem`: any shared
+// benchmark whose allocation count grew by more than the given
+// percentage fails the gate. Allocation counts are deterministic
+// per-machine-class (never normalized — a runner's speed cannot change
+// how often the code allocates), which makes this the cheapest
+// regression signal the gate has; benchmarks without the metric on
+// both sides are skipped.
 package main
 
 import (
@@ -87,6 +96,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	compare := fs.String("compare", "", "baseline JSON file to compare stdin against (compare mode)")
 	threshold := fs.Float64("threshold", 25, "compare mode: maximum tolerated ns/op regression in percent")
 	normalize := fs.String("normalize", "", "compare mode: in-run reference benchmark; regressions are judged on ns/op ratios to it (machine-speed independent)")
+	allocThreshold := fs.Float64("allocthreshold", 0, "compare mode: maximum tolerated allocs/op regression in percent (0 disables the alloc gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -105,6 +115,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *allocThreshold < 0 {
+		fmt.Fprintf(stderr, "benchjson: -allocthreshold %g must not be negative\n", *allocThreshold)
+		fs.Usage()
+		return 2
+	}
+	if *allocThreshold > 0 && *compare == "" {
+		fmt.Fprintln(stderr, "benchjson: -allocthreshold requires -compare")
+		fs.Usage()
+		return 2
+	}
 
 	current, err := parse(bufio.NewScanner(stdin), *label)
 	if err != nil {
@@ -113,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *compare != "" {
-		ok, err := compareBaselines(stdout, *compare, current, *threshold, *normalize)
+		ok, err := compareBaselines(stdout, *compare, current, *threshold, *normalize, *allocThreshold)
 		if err != nil {
 			fmt.Fprintln(stderr, "benchjson:", err)
 			return 1
@@ -208,7 +228,7 @@ func normalizeName(name string) string {
 // changes; otherwise normalize names the in-run reference benchmark
 // and deltas are changes of the ns/op ratio to that reference (see the
 // package comment).
-func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, threshold float64, normalize string) (bool, error) {
+func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, threshold float64, normalize string, allocThreshold float64) (bool, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -252,6 +272,8 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "benchmark\tbaseline ns/op\tcurrent ns/op\tdelta\tstatus\t\n")
 	shared, regressions := 0, 0
+	allocShared, allocRegressions := 0, 0
+	var allocRows []string
 	seen := make(map[string]bool, len(current.Results))
 	for _, cur := range current.Results {
 		name := normalizeName(cur.Name)
@@ -260,6 +282,15 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 		if !ok {
 			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\tnew\t\n", name, cur.NsPerOp)
 			continue
+		}
+		if allocThreshold > 0 {
+			if row, hasAllocs, regressed := compareAllocs(name, base, cur, allocThreshold); hasAllocs {
+				allocShared++
+				allocRows = append(allocRows, row)
+				if regressed {
+					allocRegressions++
+				}
+			}
 		}
 		if normalize != "" && name == refName {
 			// The reference is exempt from the threshold (its ratio is 1
@@ -292,6 +323,21 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 		return false, err
 	}
 
+	if allocThreshold > 0 {
+		atw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintf(atw, "benchmark\tbaseline allocs/op\tcurrent allocs/op\tdelta\tstatus\t\n")
+		for _, row := range allocRows {
+			fmt.Fprint(atw, row)
+		}
+		if err := atw.Flush(); err != nil {
+			return false, err
+		}
+		if allocShared == 0 {
+			fmt.Fprintf(stdout, "no shared allocs/op metrics between %s and the current run — run the benchmarks with -benchmem\n", baselinePath)
+			return false, nil
+		}
+	}
+
 	refNote := ""
 	if normalize != "" {
 		refNote = " (the normalization reference does not count)"
@@ -300,11 +346,41 @@ func compareBaselines(stdout io.Writer, baselinePath string, current *Baseline, 
 	case shared == 0:
 		fmt.Fprintf(stdout, "no shared benchmarks between %s and the current run%s — the gate cannot pass vacuously\n", baselinePath, refNote)
 		return false, nil
-	case regressions > 0:
-		fmt.Fprintf(stdout, "%d of %d shared benchmarks regressed beyond %g%%\n", regressions, shared, threshold)
+	case regressions > 0 || allocRegressions > 0:
+		if regressions > 0 {
+			fmt.Fprintf(stdout, "%d of %d shared benchmarks regressed beyond %g%% ns/op\n", regressions, shared, threshold)
+		}
+		if allocRegressions > 0 {
+			fmt.Fprintf(stdout, "%d of %d shared benchmarks regressed beyond %g%% allocs/op\n", allocRegressions, allocShared, allocThreshold)
+		}
 		return false, nil
 	default:
 		fmt.Fprintf(stdout, "all %d shared benchmarks within %g%% of %s\n", shared, threshold, baselinePath)
 		return true, nil
 	}
+}
+
+// compareAllocs diffs one benchmark's allocs/op metric. It returns the
+// formatted table row, whether both sides carried the metric, and
+// whether the regression exceeds the threshold. The delta denominator
+// is clamped to one allocation so a zero-alloc baseline still gates
+// (any new allocation on a formerly allocation-free benchmark is an
+// infinite relative regression).
+func compareAllocs(name string, base, cur Result, threshold float64) (row string, hasAllocs, regressed bool) {
+	baseA, okBase := base.Metrics["allocs/op"]
+	curA, okCur := cur.Metrics["allocs/op"]
+	if !okBase || !okCur {
+		return "", false, false
+	}
+	denom := baseA
+	if denom < 1 {
+		denom = 1
+	}
+	delta := 100 * (curA - baseA) / denom
+	status := "ok"
+	if delta > threshold {
+		status = fmt.Sprintf("REGRESSION (> %g%%)", threshold)
+		regressed = true
+	}
+	return fmt.Sprintf("%s\t%.0f\t%.0f\t%+.1f%%\t%s\t\n", name, baseA, curA, delta, status), true, regressed
 }

@@ -318,3 +318,104 @@ func TestCompareErrors(t *testing.T) {
 		t.Errorf("empty bench input: exit %d, want 1", code)
 	}
 }
+
+// allocSample is a -benchmem run: ns/op plus B/op and allocs/op pairs.
+const allocSample = `goos: linux
+BenchmarkFMM-8        	      10	  900000 ns/op	  524288 B/op	    1200 allocs/op
+BenchmarkConvolution-8	      24	 5000000 ns/op	 8388608 B/op	    3000 allocs/op
+PASS
+`
+
+// writeAllocBaseline records allocSample as a baseline with every
+// allocs/op scaled by the factor.
+func writeAllocBaseline(t *testing.T, allocScale float64) string {
+	t.Helper()
+	base, err := parse(bufio.NewScanner(strings.NewReader(allocSample)), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		base.Results[i].Metrics["allocs/op"] *= allocScale
+	}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "allocbase.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareAllocGate: the allocs/op gate passes when counts match,
+// fails on growth beyond the threshold, and never fails on
+// improvements. ns/op is identical throughout, isolating the alloc
+// signal.
+func TestCompareAllocGate(t *testing.T) {
+	code, stdout, _ := runCmd(t, allocSample, "-compare", writeAllocBaseline(t, 1.0), "-allocthreshold", "10")
+	if code != 0 {
+		t.Fatalf("identical allocs failed the gate:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "allocs/op") {
+		t.Errorf("alloc table missing:\n%s", stdout)
+	}
+
+	// Baseline had half the allocations: +100% regression.
+	code, stdout, _ = runCmd(t, allocSample, "-compare", writeAllocBaseline(t, 0.5), "-allocthreshold", "40")
+	if code != 1 {
+		t.Fatalf("doubled allocs passed the gate:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "regressed beyond 40% allocs/op") {
+		t.Errorf("missing alloc regression summary:\n%s", stdout)
+	}
+
+	// Fewer allocations than the baseline is an improvement.
+	code, _, _ = runCmd(t, allocSample, "-compare", writeAllocBaseline(t, 3.0), "-allocthreshold", "10")
+	if code != 0 {
+		t.Error("alloc improvement flagged as regression")
+	}
+
+	// Without -allocthreshold the same doubled-alloc run passes (the
+	// alloc gate is opt-in; ns/op is unchanged).
+	code, _, _ = runCmd(t, allocSample, "-compare", writeAllocBaseline(t, 0.5))
+	if code != 0 {
+		t.Error("alloc gate ran without -allocthreshold")
+	}
+}
+
+// TestCompareAllocGateZeroBaseline: a benchmark that used to be
+// allocation-free must fail the gate as soon as it allocates at all
+// beyond the threshold (the denominator clamps to 1).
+func TestCompareAllocGateZeroBaseline(t *testing.T) {
+	code, stdout, _ := runCmd(t, allocSample, "-compare", writeAllocBaseline(t, 0), "-allocthreshold", "50")
+	if code != 1 {
+		t.Fatalf("allocations on a zero-alloc baseline passed the gate:\n%s", stdout)
+	}
+}
+
+// TestCompareAllocGateRequiresMetric: gating on allocations against a
+// baseline recorded without -benchmem must fail loudly, not pass
+// vacuously.
+func TestCompareAllocGateRequiresMetric(t *testing.T) {
+	code, stdout, _ := runCmd(t, sample, "-compare", writeBaseline(t, 1.0), "-allocthreshold", "25")
+	if code != 1 {
+		t.Fatalf("alloc gate with no allocs/op metrics exited %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no shared allocs/op metrics") {
+		t.Errorf("missing vacuous-gate diagnosis:\n%s", stdout)
+	}
+}
+
+// TestAllocThresholdFlagValidation: -allocthreshold needs -compare and
+// must not be negative.
+func TestAllocThresholdFlagValidation(t *testing.T) {
+	code, _, stderr := runCmd(t, allocSample, "-allocthreshold", "10")
+	if code != 2 || !strings.Contains(stderr, "-allocthreshold requires -compare") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	code, _, stderr = runCmd(t, allocSample, "-compare", "x.json", "-allocthreshold", "-1")
+	if code != 2 || !strings.Contains(stderr, "must not be negative") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

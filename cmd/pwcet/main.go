@@ -35,6 +35,13 @@
 // IPET system, the fault-free WCET and the per-set FMM ILP solves are
 // computed once per (cache, mechanism) and reused by every sweep point.
 //
+// Profiling: -cpuprofile and -memprofile write pprof profiles of the
+// run (the heap profile on clean exit only), so performance work on
+// the analysis pipeline needs no ad-hoc harness:
+//
+//	pwcet -all -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
 // Invalid flags or flag combinations exit with status 2 after a usage
 // message; analysis failures exit with status 1.
 package main
@@ -48,6 +55,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	pwcet "repro"
@@ -62,20 +71,22 @@ func main() {
 
 // config carries the parsed and validated command line.
 type config struct {
-	list, all bool
-	bench     string
-	batch     string
-	mechs     []pwcet.Mechanism
-	pfail     float64
-	target    float64
-	coarsen   pwcet.CoarsenStrategy
-	workers   int
-	jsonOut   bool
-	curve     bool
-	fmm       bool
-	classes   bool
-	precise   bool
-	validate  int
+	list, all  bool
+	bench      string
+	batch      string
+	mechs      []pwcet.Mechanism
+	pfail      float64
+	target     float64
+	coarsen    pwcet.CoarsenStrategy
+	workers    int
+	jsonOut    bool
+	curve      bool
+	fmm        bool
+	classes    bool
+	precise    bool
+	validate   int
+	cpuprofile string
+	memprofile string
 }
 
 // parseFlags parses and validates the command line. It returns a usage
@@ -103,6 +114,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&c.classes, "classes", false, "print the per-reference CHMC summary")
 	fs.BoolVar(&c.precise, "precise", false, "enable the precise SRB analysis (mixture bound; srb only)")
 	fs.IntVar(&c.validate, "validate", 0, "run Monte-Carlo validation with N fault maps")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&c.memprofile, "memprofile", "", "write a pprof heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -210,6 +223,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return 2
 	}
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "pwcet:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "pwcet:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	code := dispatch(c, stdout, stderr)
+	if code == 0 && c.memprofile != "" {
+		if err := writeMemProfile(c.memprofile); err != nil {
+			fmt.Fprintln(stderr, "pwcet:", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// writeMemProfile records the post-run heap profile (after a GC, so
+// retained memory — the engines' memoized artifacts — dominates over
+// garbage).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// dispatch runs the selected mode.
+func dispatch(c *config, stdout, stderr io.Writer) int {
+	var err error
 	switch {
 	case c.list:
 		for _, n := range pwcet.Benchmarks() {

@@ -354,3 +354,48 @@ func TestBatchCoarsenStrategy(t *testing.T) {
 		t.Errorf("report coarsen = %q, want keep-heaviest", rep.Coarsen)
 	}
 }
+
+// TestProfilingFlags: -cpuprofile and -memprofile must write non-empty
+// pprof files on a clean run, and an unwritable profile path must exit
+// 1 with a diagnostic instead of silently analyzing without a profile.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	code, _, stderr := runCmd(t, "-bench", "bs", "-mech", "rw", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("profiled run exited %d: %s", code, stderr)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+
+	code, _, stderr = runCmd(t, "-bench", "bs", "-cpuprofile", filepath.Join(dir, "missing", "cpu.out"))
+	if code != 1 || !strings.Contains(stderr, "pwcet:") {
+		t.Fatalf("unwritable -cpuprofile: exit %d, stderr %q (want 1 with diagnostic)", code, stderr)
+	}
+	code, _, stderr = runCmd(t, "-bench", "bs", "-memprofile", filepath.Join(dir, "missing", "mem.out"))
+	if code != 1 || !strings.Contains(stderr, "pwcet:") {
+		t.Fatalf("unwritable -memprofile: exit %d, stderr %q (want 1 with diagnostic)", code, stderr)
+	}
+}
+
+// TestMemProfileSkippedOnFailure: the heap profile is only written on
+// clean exit — a failing run must not leave one behind.
+func TestMemProfileSkippedOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	mem := filepath.Join(dir, "mem.out")
+	code, _, _ := runCmd(t, "-batch", filepath.Join(dir, "does-not-exist.json"), "-memprofile", mem)
+	if code != 1 {
+		t.Fatalf("missing batch spec exited %d, want 1", code)
+	}
+	if _, err := os.Stat(mem); err == nil {
+		t.Fatal("heap profile written despite a failing run")
+	}
+}

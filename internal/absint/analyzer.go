@@ -7,23 +7,30 @@ import (
 )
 
 // Analyzer runs the cache analyses of one program against one cache
-// configuration. It precomputes the reference lists and a reverse
-// post-order of the CFG; individual sets can then be (re-)classified at
-// arbitrary effective associativities, which the Fault Miss Map uses to
-// model sets with f faulty ways.
+// configuration. It precomputes the reference lists, a reverse
+// post-order of the CFG and a per-set reference index (see index.go);
+// individual sets can then be (re-)classified at arbitrary effective
+// associativities, which the Fault Miss Map uses to model sets with f
+// faulty ways. An Analyzer is safe for concurrent use.
+//
+// The classification fixpoints run on the compact per-set domain of
+// domain_compact.go by default. NewReference/NewDataReference retain
+// the original map-based domain (domain.go) as the reference
+// implementation the compact path is differentially tested against.
 type Analyzer struct {
 	p     *program.Program
 	cfg   cache.Config
 	perBB [][]Ref
 	all   []Ref
 	rpo   []int
+	sets  []setIndex
+	ref   bool
 }
 
 // New builds an analyzer of the program's instruction fetches against
 // the (instruction) cache configuration.
 func New(p *program.Program, cfg cache.Config) *Analyzer {
-	perBB, all := ComputeRefs(p, cfg)
-	return &Analyzer{p: p, cfg: cfg, perBB: perBB, all: all, rpo: reversePostOrder(p)}
+	return newAnalyzer(p, cfg, false, false)
 }
 
 // NewData builds an analyzer of the program's data accesses against a
@@ -33,8 +40,40 @@ func New(p *program.Program, cfg cache.Config) *Analyzer {
 // to data caches" (Section VI). Stores are analyzed as write-allocate
 // accesses.
 func NewData(p *program.Program, cfg cache.Config) *Analyzer {
-	perBB, all := ComputeDataRefs(p, cfg)
-	return &Analyzer{p: p, cfg: cfg, perBB: perBB, all: all, rpo: reversePostOrder(p)}
+	return newAnalyzer(p, cfg, true, false)
+}
+
+// NewReference is New with the retained map-based abstract domain: the
+// executable specification the compact hot path is validated against.
+// Classifications are identical (asserted by the differential tests);
+// only the constant factors differ.
+func NewReference(p *program.Program, cfg cache.Config) *Analyzer {
+	return newAnalyzer(p, cfg, false, true)
+}
+
+// NewDataReference is NewData on the retained map-based domain.
+func NewDataReference(p *program.Program, cfg cache.Config) *Analyzer {
+	return newAnalyzer(p, cfg, true, true)
+}
+
+func newAnalyzer(p *program.Program, cfg cache.Config, data, ref bool) *Analyzer {
+	var perBB [][]Ref
+	var all []Ref
+	if data {
+		perBB, all = ComputeDataRefs(p, cfg)
+	} else {
+		perBB, all = ComputeRefs(p, cfg)
+	}
+	rpo := reversePostOrder(p)
+	return &Analyzer{
+		p:     p,
+		cfg:   cfg,
+		perBB: perBB,
+		all:   all,
+		rpo:   rpo,
+		sets:  buildSetIndexes(p, cfg.Sets, perBB, all, rpo),
+		ref:   ref,
+	}
 }
 
 // Refs returns all references in global order.
@@ -42,6 +81,11 @@ func (a *Analyzer) Refs() []Ref { return a.all }
 
 // RefsOf returns the references of one basic block in fetch order.
 func (a *Analyzer) RefsOf(bb int) []Ref { return a.perBB[bb] }
+
+// RefsOfSet returns the references mapping to one cache set, in global
+// order — the per-set index the FMM hot path iterates instead of
+// filtering Refs() by set on every (set, fault-count) pair.
+func (a *Analyzer) RefsOfSet(set int) []Ref { return a.sets[set].refs }
 
 // Config returns the cache configuration being analyzed.
 func (a *Analyzer) Config() cache.Config { return a.cfg }
@@ -75,7 +119,130 @@ func (a *Analyzer) ClassifySet(set, assoc int) []chmc.Class {
 	return out
 }
 
+// ClassifySetInto is ClassifySet writing into a caller-provided buffer
+// of len(Refs()) entries: every entry belonging to a reference of the
+// set is (re)written — NotClassified included — while entries of other
+// sets are left untouched. Reusing one buffer across the W fault
+// counts of a set (and across sets) is what keeps the FMM's S*W
+// reclassifications allocation-free; the caller must only ever read
+// the entries of the set it just classified.
+func (a *Analyzer) ClassifySetInto(out []chmc.Class, set, assoc int) {
+	for _, r := range a.sets[set].refs {
+		out[r.Global] = chmc.NotClassified
+	}
+	a.classifySetInto(out, set, assoc)
+}
+
+// classifySetInto dispatches one set's classification to the compact
+// hot path or the retained reference domain. Both write the refs of the
+// set that sit in entry-reachable blocks; callers prefill the rest.
 func (a *Analyzer) classifySetInto(out []chmc.Class, set, assoc int) {
+	if a.ref {
+		a.classifySetIntoReference(out, set, assoc)
+		return
+	}
+	a.classifySetIntoCompact(out, set, assoc)
+}
+
+// classifySetIntoCompact runs the per-set fixpoint and classification
+// sweep on the compact domain over the set's local block universe.
+func (a *Analyzer) classifySetIntoCompact(out []chmc.Class, set, assoc int) {
+	ix := &a.sets[set]
+	if len(ix.refs) == 0 {
+		return
+	}
+	if assoc <= 0 {
+		for _, r := range ix.refs {
+			out[r.Global] = chmc.AlwaysMiss
+		}
+		return
+	}
+
+	outStates := a.fixpointCompact(ix, assoc)
+
+	// Classification sweep: only blocks holding references of this set
+	// matter, and the groups list them in reverse post-order already.
+	for gi := range ix.groups {
+		g := &ix.groups[gi]
+		in := a.inStateCompact(outStates, int(g.bb), assoc, ix)
+		if !in.reached {
+			// Unreachable code never executes; AlwaysMiss is the
+			// conservative (and irrelevant) classification.
+			for _, lr := range g.refs {
+				out[lr.global] = chmc.AlwaysMiss
+			}
+			ix.pool.Put(in)
+			continue
+		}
+		for _, lr := range g.refs {
+			out[lr.global] = classifyCompact(in, lr.local, assoc)
+			in.access(lr.local, assoc)
+		}
+		ix.pool.Put(in)
+	}
+	for _, st := range outStates {
+		if st != nil {
+			ix.pool.Put(st)
+		}
+	}
+}
+
+// fixpointCompact iterates the three analyses for one set to a fixpoint
+// on the compact domain and returns the OUT state of every block. The
+// caller owns the returned states (they come from the set's pool).
+func (a *Analyzer) fixpointCompact(ix *setIndex, assoc int) []*cstate {
+	outStates := make([]*cstate, len(a.p.Blocks))
+	for changed := true; changed; {
+		changed = false
+		gi := 0
+		for pos, bb := range a.rpo {
+			st := a.inStateCompact(outStates, bb, assoc, ix)
+			var g *refGroup
+			for gi < len(ix.groups) && int(ix.groups[gi].rpoPos) < pos {
+				gi++
+			}
+			if gi < len(ix.groups) && int(ix.groups[gi].rpoPos) == pos {
+				g = &ix.groups[gi]
+				gi++
+			}
+			if st.reached && g != nil {
+				for _, lr := range g.refs {
+					st.access(lr.local, assoc)
+				}
+			}
+			if outStates[bb] == nil || !outStates[bb].equal(st) {
+				if outStates[bb] != nil {
+					ix.pool.Put(outStates[bb])
+				}
+				outStates[bb] = st
+				changed = true
+			} else {
+				ix.pool.Put(st)
+			}
+		}
+	}
+	return outStates
+}
+
+// inStateCompact joins the predecessors' OUT states into a pooled state
+// (the entry block starts from the reached empty cache).
+func (a *Analyzer) inStateCompact(outStates []*cstate, bb, assoc int, ix *setIndex) *cstate {
+	in := ix.pool.Get().(*cstate)
+	in.reset()
+	if bb == a.p.Entry {
+		in.reached = true
+	}
+	for _, pr := range a.p.Blocks[bb].Preds {
+		if o := outStates[pr]; o != nil {
+			in.join(o, assoc)
+		}
+	}
+	return in
+}
+
+// classifySetIntoReference is the retained map-based classification
+// path (the pre-index implementation, verbatim).
+func (a *Analyzer) classifySetIntoReference(out []chmc.Class, set, assoc int) {
 	if assoc <= 0 {
 		for _, r := range a.all {
 			if r.Set == set {
@@ -129,8 +296,8 @@ func classify(st *setState, m uint32, assoc int) chmc.Class {
 	return chmc.NotClassified
 }
 
-// fixpoint iterates the three analyses for one set to a fixpoint and
-// returns the OUT state of every block.
+// fixpoint iterates the three analyses for one set to a fixpoint on the
+// reference domain and returns the OUT state of every block.
 func (a *Analyzer) fixpoint(set, assoc int) []*setState {
 	outStates := make([]*setState, len(a.p.Blocks))
 	for changed := true; changed; {

@@ -80,6 +80,16 @@ type Options struct {
 	// byte-identical for every worker count — parallelism only changes
 	// wall-clock time, never FMM entries, distributions or pWCETs.
 	Workers int
+	// Reference runs the analysis on the retained reference
+	// implementations of the hot paths: the dense uncompacted simplex
+	// (lp.NewReferenceSimplex) and the map-based abstract cache domain
+	// (absint.NewReference), instead of the compacted sparse simplex
+	// and the indexed compact domain. Results are bit-identical either
+	// way — the differential byte-identity suite asserts it on every
+	// stage (WCET, full FMM, penalty distribution, pWCET curve) — so
+	// the flag exists purely to validate the optimized path, at a
+	// substantial slowdown.
+	Reference bool
 }
 
 func (o Options) withDefaults() Options {
@@ -186,11 +196,15 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: PreciseSRB is not supported together with a data cache")
 	}
 
-	sys, err := ipet.NewSystem(p)
+	newSystem, newAnalyzer, newDataAnalyzer := ipet.NewSystem, absint.New, absint.NewData
+	if opt.Reference {
+		newSystem, newAnalyzer, newDataAnalyzer = ipet.NewReferenceSystem, absint.NewReference, absint.NewDataReference
+	}
+	sys, err := newSystem(p)
 	if err != nil {
 		return nil, err
 	}
-	a := absint.New(p, opt.Cache)
+	a := newAnalyzer(p, opt.Cache)
 	base := a.ClassifyAll()
 
 	var da *absint.Analyzer
@@ -204,7 +218,7 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		da = absint.NewData(p, *opt.DataCache)
+		da = newDataAnalyzer(p, *opt.DataCache)
 		dbase = da.ClassifyAll()
 	}
 
@@ -357,7 +371,7 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	e, err := NewEngine(p, EngineOptions{Workers: opt.Workers})
+	e, err := NewEngine(p, EngineOptions{Workers: opt.Workers, Reference: opt.Reference})
 	if err != nil {
 		return nil, err
 	}

@@ -178,6 +178,11 @@ type EngineOptions struct {
 	// (memo hits do not fire it). Calls may come from any worker
 	// goroutine; the callback must be safe for concurrent use.
 	Hook func(ArtifactEvent)
+	// Reference builds every artifact on the retained reference
+	// implementations (dense simplex, map-based abstract domain) —
+	// see Options.Reference. Bit-identical results, much slower;
+	// for differential validation only.
+	Reference bool
 }
 
 // Engine is a reusable analysis session for one program. It memoizes
@@ -195,6 +200,7 @@ type Engine struct {
 	p        *program.Program
 	workers  int
 	hook     func(ArtifactEvent)
+	ref      bool
 	pristine *ipet.System
 
 	mu      sync.Mutex
@@ -283,7 +289,11 @@ func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
 	if !cfg.Reducible(p) {
 		return nil, fmt.Errorf("core: %s: irreducible control flow", p.Name)
 	}
-	sys, err := ipet.NewSystem(p)
+	newSystem := ipet.NewSystem
+	if opt.Reference {
+		newSystem = ipet.NewReferenceSystem
+	}
+	sys, err := newSystem(p)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +301,7 @@ func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
 		p:        p,
 		workers:  opt.Workers,
 		hook:     opt.Hook,
+		ref:      opt.Reference,
 		pristine: sys,
 		classes:  make(map[classKey]*classEntry),
 		ctxs:     make(map[ctxKey]*ctxEntry),
@@ -321,9 +332,14 @@ func (e *Engine) class(cfg cache.Config, data bool) *classEntry {
 	}
 	e.mu.Unlock()
 	c.once.Do(func() {
-		if data {
+		switch {
+		case data && e.ref:
+			c.a = absint.NewDataReference(e.p, cfg)
+		case data:
 			c.a = absint.NewData(e.p, cfg)
-		} else {
+		case e.ref:
+			c.a = absint.NewReference(e.p, cfg)
+		default:
 			c.a = absint.New(e.p, cfg)
 		}
 		c.base = c.a.ClassifyAll()
@@ -478,7 +494,9 @@ func (e *Engine) Analyze(q Query) (*Result, error) {
 // it by per-set parallelism would oversubscribe the machine. Stage
 // parallelism never changes any result.
 func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
-	opt := q.options(e.workers).withDefaults()
+	opt := q.options(e.workers)
+	opt.Reference = e.ref // echoed in Result.Options like the one-shot path
+	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}

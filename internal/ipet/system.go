@@ -29,12 +29,30 @@ type System struct {
 	// virtual source for the entry block).
 	inVars [][]int
 	sx     *lp.Simplex
+	ref    bool
+	// obj is the per-System objective scratch of MaximizeBlockWeights.
+	// A System is driven by one goroutine at a time (workers Clone);
+	// reusing the buffer keeps the S*W FMM objectives allocation-free.
+	obj []float64
 }
 
 // NewSystem builds the structural and loop-bound constraints for the
-// program and runs simplex phase 1 once.
+// program and runs simplex phase 1 once, on the compacted sparse
+// simplex of internal/lp.
 func NewSystem(p *program.Program) (*System, error) {
-	s := &System{p: p, inVars: make([][]int, len(p.Blocks))}
+	return newSystem(p, false)
+}
+
+// NewReferenceSystem is NewSystem on lp.NewReferenceSimplex — the
+// retained dense solver. Results are bit-identical to NewSystem's (the
+// differential suites assert it); it exists so whole-pipeline runs can
+// be validated against the reference implementation.
+func NewReferenceSystem(p *program.Program) (*System, error) {
+	return newSystem(p, true)
+}
+
+func newSystem(p *program.Program, ref bool) (*System, error) {
+	s := &System{p: p, inVars: make([][]int, len(p.Blocks)), ref: ref}
 
 	edgeVar := make(map[program.Edge]int)
 	outVars := make([][]int, len(p.Blocks))
@@ -95,7 +113,11 @@ func NewSystem(p *program.Program) (*System, error) {
 		s.cons = append(s.cons, lp.Constraint{Coefs: cf, Op: lp.LE, RHS: 0})
 	}
 
-	sx, err := lp.NewSimplex(s.numVars, s.cons)
+	newSimplex := lp.NewSimplex
+	if ref {
+		newSimplex = lp.NewReferenceSimplex
+	}
+	sx, err := newSimplex(s.numVars, s.cons)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +149,11 @@ func (s *System) MaximizeBlockWeights(weights []float64, constant float64) (*Res
 	if len(weights) != len(s.p.Blocks) {
 		return nil, fmt.Errorf("ipet: %d weights for %d blocks", len(weights), len(s.p.Blocks))
 	}
-	obj := make([]float64, s.numVars)
+	if s.obj == nil {
+		s.obj = make([]float64, s.numVars)
+	}
+	obj := s.obj
+	clear(obj)
 	for b, w := range weights {
 		if w == 0 {
 			continue
@@ -180,8 +206,9 @@ func (s *System) Program() *program.Program { return s.p }
 
 // Clone returns a System that shares the program, constraints and edge
 // maps (all read-only after NewSystem) but owns a private copy of the
-// warm simplex state. Clones can run MaximizeBlockWeights concurrently
-// with each other and with the receiver; phase 1 is not redone.
+// warm simplex state (and a private objective scratch). Clones can run
+// MaximizeBlockWeights concurrently with each other and with the
+// receiver; phase 1 is not redone.
 func (s *System) Clone() *System {
 	return &System{
 		p:       s.p,
@@ -189,6 +216,7 @@ func (s *System) Clone() *System {
 		cons:    s.cons,
 		inVars:  s.inVars,
 		sx:      s.sx.Clone(),
+		ref:     s.ref,
 	}
 }
 

@@ -174,8 +174,9 @@ func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptio
 	errs := make([]error, cfg.Sets)
 	if workers == 1 {
 		ws := sys.Clone()
+		sc := newFMMScratch(sys, a)
 		for set := 0; set < cfg.Sets; set++ {
-			if fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set); errs[set] != nil {
+			if fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set, sc); errs[set] != nil {
 				return nil, errs[set]
 			}
 		}
@@ -189,8 +190,9 @@ func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptio
 		go func() {
 			defer wg.Done()
 			ws := sys.Clone()
+			sc := newFMMScratch(sys, a)
 			for set := range jobs {
-				fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set)
+				fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set, sc)
 			}
 		}()
 	}
@@ -207,15 +209,37 @@ func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptio
 	return fmm, nil
 }
 
+// fmmScratch holds the per-worker buffers of computeFMMRow: the block
+// weights of the ILP objective and the degraded-classification vector,
+// both reused across every (set, fault count) pair the worker handles
+// instead of being reallocated S*W times.
+type fmmScratch struct {
+	weights []float64
+	deg     []chmc.Class
+}
+
+func newFMMScratch(sys *System, a *absint.Analyzer) *fmmScratch {
+	return &fmmScratch{
+		weights: make([]float64, len(sys.p.Blocks)),
+		deg:     make([]chmc.Class, len(a.Refs())),
+	}
+}
+
 // computeFMMRow computes one set's FMM row on the worker's private
 // system ws, first restoring ws to pristine's basis so the row does not
-// depend on what ws solved before.
-func computeFMMRow(ws, pristine *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptions, set int) ([]int64, error) {
+// depend on what ws solved before. It touches only the set's own
+// references (Analyzer.RefsOfSet) — never the full reference list —
+// and reuses the worker's scratch buffers across fault counts.
+func computeFMMRow(ws, pristine *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptions, set int, sc *fmmScratch) ([]int64, error) {
 	if err := ws.resetFrom(pristine); err != nil {
 		return nil, err
 	}
 	cfg := a.Config()
 	row := make([]int64, cfg.Ways+1)
+	refs := a.RefsOfSet(set)
+	if len(refs) == 0 {
+		return row, nil // the set caches nothing: no reference can suffer
+	}
 	for f := 1; f <= cfg.Ways; f++ {
 		if f == cfg.Ways && opt.Mechanism == cache.MechanismRW {
 			// The reliable way guarantees at least one usable way;
@@ -225,21 +249,21 @@ func computeFMMRow(ws, pristine *System, a *absint.Analyzer, base []chmc.Class, 
 		if opt.OnlyWholeSetColumn && f < cfg.Ways {
 			continue
 		}
-		weights := make([]float64, len(ws.p.Blocks))
+		weights := sc.weights
+		clear(weights)
 		constant := 0.0
 		any := false
 		var deg []chmc.Class
 		switch {
 		case f < cfg.Ways:
-			deg = a.ClassifySet(set, cfg.Ways-f)
+			a.ClassifySetInto(sc.deg, set, cfg.Ways-f)
+			deg = sc.deg
 		case opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB:
 			// Precise SRB: the buffer is a private 1-way cache.
-			deg = a.ClassifySRBForSet(set)
+			a.ClassifySetInto(sc.deg, set, 1)
+			deg = sc.deg
 		}
-		for _, r := range a.Refs() {
-			if r.Set != set {
-				continue
-			}
+		for _, r := range refs {
 			var pe, pc int64
 			if deg != nil {
 				pe, pc = refExtra(base[r.Global], deg[r.Global])

@@ -7,44 +7,100 @@ import "fmt"
 // pivoted through Maximize without affecting the receiver. Cloning a
 // warm simplex is how callers fan one constraint system out over
 // worker goroutines: phase 1 runs once, every worker pivots its own
-// copy.
+// copy. The clone starts tracking the receiver as its pristine source,
+// so a later CopyFrom(receiver) restores only the rows the clone
+// actually pivoted.
 func (s *Simplex) Clone() *Simplex {
 	c := &Simplex{
-		n:        s.n,
-		ncols:    s.ncols,
-		artStart: s.artStart,
-		rows:     make([][]float64, len(s.rows)),
-		rhs:      append([]float64(nil), s.rhs...),
-		basis:    append([]int(nil), s.basis...),
-		active:   append([]bool(nil), s.active...),
-		barred:   append([]bool(nil), s.barred...),
-		feasible: s.feasible,
+		n:         s.n,
+		ncols:     s.ncols,
+		artStart:  s.artStart,
+		rows:      make([][]float64, len(s.rows)),
+		rhs:       append([]float64(nil), s.rhs...),
+		basis:     append([]int(nil), s.basis...),
+		active:    append([]bool(nil), s.active...),
+		feasible:  s.feasible,
+		truncated: s.truncated,
+		ref:       s.ref,
+		budget:    s.budget,
 	}
-	for i, row := range s.rows {
-		c.rows[i] = append([]float64(nil), row...)
+	if s.barred != nil {
+		c.barred = append([]bool(nil), s.barred...)
+	}
+	if s.backing != nil {
+		c.backing = append([]float64(nil), s.backing...)
+		w := s.ncols
+		for i := range c.rows {
+			c.rows[i] = c.backing[i*w : (i+1)*w : (i+1)*w]
+		}
+	} else {
+		for i, row := range s.rows {
+			c.rows[i] = append([]float64(nil), row...)
+		}
+	}
+	if !s.ref {
+		c.src, c.srcVersion = s, s.version
+		c.dirty = make([]bool, len(s.rows))
 	}
 	return c
 }
 
 // CopyFrom restores the receiver to src's exact state, reusing the
 // receiver's buffers (no allocation). Receiver and src must descend
-// from the same NewSimplex call — same constraint set, hence same
-// tableau shape; CopyFrom returns an error otherwise. Resetting a
-// worker's scratch simplex from a pristine source before each task is
-// what makes results independent of how tasks are distributed over
-// workers: every task starts its pivot path from the same basis.
+// from the same NewSimplex (or NewReferenceSimplex) call — same
+// constraint set, hence same tableau shape and mode; CopyFrom returns
+// an error otherwise. Resetting a worker's scratch simplex from a
+// pristine source before each task is what makes results independent
+// of how tasks are distributed over workers: every task starts its
+// pivot path from the same basis.
+//
+// When the receiver already tracks src (it was cloned from src, or
+// fully restored to it before) and src has not been pivoted since,
+// only the rows the receiver dirtied are copied back — for the FMM
+// workload, a handful of pivoted rows instead of the whole tableau per
+// set. Any doubt (different source, source mutated, reference mode)
+// falls back to the full restore.
 func (s *Simplex) CopyFrom(src *Simplex) error {
-	if s.n != src.n || s.ncols != src.ncols || len(s.rows) != len(src.rows) {
+	if s.n != src.n || s.ncols != src.ncols || len(s.rows) != len(src.rows) || s.ref != src.ref {
 		return fmt.Errorf("lp: CopyFrom across different tableau shapes (%dx%d vs %dx%d)",
 			len(s.rows), s.ncols, len(src.rows), src.ncols)
 	}
-	for i := range s.rows {
-		copy(s.rows[i], src.rows[i])
+	if !s.ref && s.src == src && s.srcVersion == src.version && s.dirty != nil {
+		for _, i := range s.dirtyRows {
+			copy(s.rows[i], src.rows[i])
+			s.rhs[i] = src.rhs[i]
+			s.basis[i] = src.basis[i]
+			s.dirty[i] = false
+		}
+		s.dirtyRows = s.dirtyRows[:0]
+		s.version++
+		return nil
+	}
+	if s.backing != nil && src.backing != nil {
+		copy(s.backing, src.backing)
+	} else {
+		for i := range s.rows {
+			copy(s.rows[i], src.rows[i])
+		}
 	}
 	copy(s.rhs, src.rhs)
 	copy(s.basis, src.basis)
 	copy(s.active, src.active)
-	copy(s.barred, src.barred)
+	if s.barred != nil && src.barred != nil {
+		copy(s.barred, src.barred)
+	}
 	s.feasible = src.feasible
+	s.truncated = src.truncated
+	if !s.ref {
+		if s.dirty == nil {
+			s.dirty = make([]bool, len(s.rows))
+		}
+		for _, i := range s.dirtyRows {
+			s.dirty[i] = false
+		}
+		s.dirtyRows = s.dirtyRows[:0]
+		s.src, s.srcVersion = src, src.version
+	}
+	s.version++
 	return nil
 }

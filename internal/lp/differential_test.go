@@ -1,0 +1,220 @@
+package lp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a random sparse LP mixing the three operator
+// kinds, shaped like the network-flow-with-side-constraints systems the
+// package actually solves (small coefficient counts per row, integral
+// coefficients, non-negative variables).
+func randomProblem(rng *rand.Rand) (int, []Constraint, [][]float64) {
+	n := 2 + rng.Intn(8)
+	m := 1 + rng.Intn(10)
+	cons := make([]Constraint, m)
+	for i := range cons {
+		nc := 1 + rng.Intn(3)
+		if nc > n {
+			nc = n
+		}
+		seen := map[int]bool{}
+		var cf []Coef
+		for len(cf) < nc {
+			v := rng.Intn(n)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			cf = append(cf, Coef{Var: v, Val: float64(rng.Intn(7) - 3)})
+		}
+		cons[i] = Constraint{
+			Coefs: cf,
+			Op:    Op(rng.Intn(3)),
+			RHS:   float64(rng.Intn(21) - 5),
+		}
+	}
+	// A few warm-start objectives per system, like the FMM's S*W sweep.
+	objs := make([][]float64, 1+rng.Intn(4))
+	for k := range objs {
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = float64(rng.Intn(9))
+		}
+		objs[k] = obj
+	}
+	return n, cons, objs
+}
+
+// TestSparseMatchesReference pits the compacted/sparse simplex against
+// the retained dense reference on random systems: same feasibility,
+// and for every warm-started objective the same status, bit-identical
+// solution vector and objective value. The sparse path skips exactly
+// the `x -= f*0` no-op updates, so any divergence — even in the last
+// ulp — is a bug.
+func TestSparseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		n, cons, objs := randomProblem(rng)
+		fast, err := NewSimplex(n, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewReferenceSimplex(n, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Feasible() != ref.Feasible() {
+			t.Fatalf("iter %d: feasibility %v vs reference %v", iter, fast.Feasible(), ref.Feasible())
+		}
+		for k, obj := range objs {
+			fs, ferr := fast.Maximize(obj)
+			rs, rerr := ref.Maximize(obj)
+			if (ferr != nil) != (rerr != nil) {
+				t.Fatalf("iter %d obj %d: error %v vs reference %v", iter, k, ferr, rerr)
+			}
+			if ferr != nil {
+				continue
+			}
+			if fs.Status != rs.Status {
+				t.Fatalf("iter %d obj %d: status %v vs reference %v", iter, k, fs.Status, rs.Status)
+			}
+			if fs.Status != Optimal {
+				continue
+			}
+			if fs.Obj != rs.Obj {
+				t.Fatalf("iter %d obj %d: objective %v vs reference %v", iter, k, fs.Obj, rs.Obj)
+			}
+			for j := range fs.X {
+				if fs.X[j] != rs.X[j] {
+					t.Fatalf("iter %d obj %d: x[%d] = %v vs reference %v", iter, k, j, fs.X[j], rs.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDirtyCopyFromMatchesFullRestore drives a clone through warm
+// solves and dirty-row restores, checking after every restore that a
+// freshly cloned simplex (full state) produces bit-identical solutions:
+// the dirty tracking must leave no stale row behind.
+func TestDirtyCopyFromMatchesFullRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n, cons, objs := randomProblem(rng)
+		src, err := NewSimplex(n, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !src.Feasible() {
+			continue
+		}
+		worker := src.Clone()
+		for k, obj := range objs {
+			if err := worker.CopyFrom(src); err != nil {
+				t.Fatal(err)
+			}
+			ws, werr := worker.Maximize(obj)
+			fresh := src.Clone()
+			fs, ferr := fresh.Maximize(obj)
+			if (werr != nil) != (ferr != nil) {
+				t.Fatalf("iter %d obj %d: error %v vs fresh %v", iter, k, werr, ferr)
+			}
+			if werr != nil {
+				continue
+			}
+			if ws.Status != fs.Status || ws.Obj != fs.Obj {
+				t.Fatalf("iter %d obj %d: (%v, %v) vs fresh (%v, %v)", iter, k, ws.Status, ws.Obj, fs.Status, fs.Obj)
+			}
+			for j := range ws.X {
+				if ws.X[j] != fs.X[j] {
+					t.Fatalf("iter %d obj %d: x[%d] = %v vs fresh %v", iter, k, j, ws.X[j], fs.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCopyFromDetectsMutatedSource: the dirty fast path must notice
+// that the tracked source was pivoted after the clone and fall back to
+// a full restore instead of resurrecting a stale basis.
+func TestCopyFromDetectsMutatedSource(t *testing.T) {
+	src, err := NewSimplex(2, []Constraint{
+		{Coefs: []Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, Op: LE, RHS: 4},
+		{Coefs: []Coef{{Var: 0, Val: 1}}, Op: LE, RHS: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := src.Clone()
+	// Mutate the source: a warm solve pivots it.
+	if _, err := src.Maximize([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := worker.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	// The worker must now equal the mutated source exactly: a second
+	// Maximize on both must agree bit for bit.
+	ws, err := worker.Maximize([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := src.Clone().Maximize([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Obj != ss.Obj || ws.X[0] != ss.X[0] || ws.X[1] != ss.X[1] {
+		t.Fatalf("restored worker diverged: %+v vs %+v", ws, ss)
+	}
+}
+
+// TestPivotBudgetSurfacesAsError: exhausting the pivot budget must
+// surface as ErrPivotLimit from Maximize, never as a silent
+// "optimal-so-far" answer (regression test for the former silent
+// truncation).
+func TestPivotBudgetSurfacesAsError(t *testing.T) {
+	s, err := NewSimplex(3, []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 2}, {2, 1}}, Op: LE, RHS: 14},
+		{Coefs: []Coef{{0, 3}, {1, 1}, {2, 2}}, Op: LE, RHS: 25},
+		{Coefs: []Coef{{0, 1}, {1, 1}, {2, 3}}, Op: LE, RHS: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.budget = 1 // the optimum needs several pivots
+	_, err = s.Maximize([]float64{3, 2, 4})
+	if !errors.Is(err, ErrPivotLimit) {
+		t.Fatalf("Maximize with a one-pivot budget returned %v, want ErrPivotLimit", err)
+	}
+	// With the budget restored the same tableau must solve cleanly:
+	// truncation of phase 2 is not sticky.
+	s.budget = 100000
+	sol, err := s.Maximize([]float64{3, 2, 4})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("after restoring the budget: %v, %v", sol, err)
+	}
+}
+
+// TestPhase1TruncationIsSticky: a phase-1 budget exhaustion leaves the
+// basis untrusted, so every subsequent Maximize must fail.
+func TestPhase1TruncationIsSticky(t *testing.T) {
+	s, err := NewSimplex(2, []Constraint{
+		{Coefs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 10},
+		{Coefs: []Coef{{0, 1}, {1, -1}}, Op: EQ, RHS: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.truncated = true // simulate a phase-1 budget exhaustion
+	if _, err := s.Maximize([]float64{1, 1}); !errors.Is(err, ErrPivotLimit) {
+		t.Fatalf("Maximize on a truncated phase 1 returned %v, want ErrPivotLimit", err)
+	}
+	// The flag must survive Clone and CopyFrom: a worker restored from
+	// a truncated source is equally untrusted.
+	c := s.Clone()
+	if _, err := c.Maximize([]float64{1, 1}); !errors.Is(err, ErrPivotLimit) {
+		t.Fatalf("clone of truncated simplex returned %v, want ErrPivotLimit", err)
+	}
+}

@@ -1,5 +1,5 @@
 // Package lp implements a small linear-programming and integer
-// linear-programming solver: a dense two-phase primal simplex with warm
+// linear-programming solver: a two-phase primal simplex with warm
 // restarts of phase 2, plus depth-first branch & bound for integrality.
 //
 // It replaces CPLEX 12.5 in the paper's toolchain. The ILP systems solved
@@ -7,9 +7,36 @@
 // are network-flow-like with loop-bound side constraints; their LP
 // relaxations are almost always integral, so branch & bound is rarely
 // exercised. All variables are implicitly non-negative.
+//
+// # Sparse hot path and the retained dense reference
+//
+// IPET tableaus are extremely sparse (flow-conservation rows touch a
+// handful of edge variables), and the FMM workload re-solves one
+// constraint set under thousands of objectives. NewSimplex therefore
+// builds the solver the hot path uses:
+//
+//   - after phase 1 the artificial columns — barred forever — are
+//     physically compacted out of the tableau, shrinking every
+//     subsequent pivot, reduction and restore;
+//   - each pivot collects the nonzero columns of the (scaled) pivot row
+//     once and updates only those entries of the other rows and of the
+//     objective, skipping the zeros a dense sweep would multiply;
+//   - pivoted rows are tracked as dirty, so CopyFrom restores a worker
+//     simplex from its pristine source by copying only the rows that
+//     actually changed since the last restore.
+//
+// None of this changes a single pivot decision: the skipped updates are
+// exactly the no-op `x -= f*0` ones, so every comparison the solver
+// makes sees the same values. NewReferenceSimplex retains the plain
+// dense implementation (uncompacted tableau, full-row pivots, whole
+// tableau restores) as an executable specification; the differential
+// tests in this package and the byte-identity suites of internal/ipet
+// and internal/core pit the two against each other on random systems
+// and the full Mälardalen pipeline.
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -86,32 +113,93 @@ type Solution struct {
 	Obj float64
 }
 
+// ErrPivotLimit is returned (wrapped) by Maximize — and propagated by
+// SolveILP and every caller up to the pWCET pipeline — when the simplex
+// exhausts its pivot budget before proving optimality. The tableau then
+// holds a feasible but possibly suboptimal basis; silently reporting it
+// as the maximum would under-approximate a worst case, which for a WCET
+// bound is unsound, so the condition always surfaces as an error.
+var ErrPivotLimit = errors.New("lp: pivot iteration budget exhausted before optimality")
+
 const (
 	tol      = 1e-7
 	pivotTol = 1e-9
 )
 
-// Simplex is a dense simplex tableau over a fixed constraint set. After
+// iterStatus is the outcome of one iterate run.
+type iterStatus int8
+
+const (
+	iterOptimal iterStatus = iota
+	iterUnbounded
+	// iterTruncated means the pivot budget ran out: the basis is
+	// feasible but optimality is unproven.
+	iterTruncated
+)
+
+// Simplex is a simplex tableau over a fixed constraint set. After
 // construction (which runs phase 1), Maximize may be called repeatedly
 // with different objectives; each call warm-starts from the current basis,
 // which makes sweeping many objectives over one constraint set cheap
 // (the FMM computes S*W objectives over a single IPET system).
 type Simplex struct {
 	n        int // structural variables
-	ncols    int // structural + slack + artificial
-	artStart int // first artificial column
+	ncols    int // current tableau width (artificials compacted away)
+	artStart int // first artificial column (== ncols once compacted)
 	rows     [][]float64
+	backing  []float64 // contiguous row storage after compaction
 	rhs      []float64
 	basis    []int
 	active   []bool
-	barred   []bool // artificial columns barred after phase 1
+	barred   []bool // reference mode: artificial columns barred after phase 1
 	feasible bool
+	// truncated records a phase-1 pivot-budget exhaustion: the basis
+	// cannot be trusted, so every Maximize reports ErrPivotLimit.
+	truncated bool
+	ref       bool // retained dense reference implementation
+
+	// budget is the pivot budget of one iterate run. It is fixed at
+	// construction from the uncompacted tableau size, so compaction
+	// cannot change when truncation strikes (tests may lower it).
+	budget int
+
+	// version counts state mutations; CopyFrom uses it to detect that a
+	// tracked pristine source changed under a worker's feet.
+	version uint64
+	// src/srcVersion/dirty track which rows diverged from the pristine
+	// source the simplex was cloned from (or last fully restored to),
+	// enabling the dirty-rows-only CopyFrom fast path.
+	src        *Simplex
+	srcVersion uint64
+	dirty      []bool
+	dirtyRows  []int
+
+	nz []int // scratch: nonzero columns of the current pivot row
 }
 
 // NewSimplex builds the tableau for the given constraints over n
-// structural variables and runs phase 1. It returns an error only on
-// malformed input; infeasibility is reported through Feasible.
+// structural variables, runs phase 1 and compacts the artificial
+// columns away. It returns an error only on malformed input;
+// infeasibility is reported through Feasible.
 func NewSimplex(n int, cons []Constraint) (*Simplex, error) {
+	s, err := newSimplex(n, cons, false)
+	if err != nil {
+		return nil, err
+	}
+	s.compact()
+	return s, nil
+}
+
+// NewReferenceSimplex builds the retained dense reference solver: the
+// uncompacted tableau with full-row pivots and whole-tableau restores.
+// It computes bit-for-bit the same solutions as NewSimplex (asserted by
+// the differential tests) at a higher constant cost; it exists as the
+// executable specification the optimized path is validated against.
+func NewReferenceSimplex(n int, cons []Constraint) (*Simplex, error) {
+	return newSimplex(n, cons, true)
+}
+
+func newSimplex(n int, cons []Constraint, ref bool) (*Simplex, error) {
 	m := len(cons)
 	nslack := 0
 	nart := 0
@@ -147,6 +235,8 @@ func NewSimplex(n int, cons []Constraint) (*Simplex, error) {
 		basis:    make([]int, m),
 		active:   make([]bool, m),
 		barred:   make([]bool, n+nslack+nart),
+		ref:      ref,
+		budget:   200*(m+n+nslack+nart) + 20000,
 	}
 
 	slackCol := n
@@ -215,7 +305,9 @@ func (s *Simplex) phase1() {
 		obj[j] = -1 // maximize -(sum of artificials)
 	}
 	s.reduce(obj)
-	s.iterate(obj, nil)
+	if s.iterate(obj) == iterTruncated {
+		s.truncated = true
+	}
 
 	// Objective value: sum of basic artificial levels.
 	sum := 0.0
@@ -252,6 +344,25 @@ func (s *Simplex) phase1() {
 	s.feasible = true
 }
 
+// compact physically removes the barred artificial columns from the
+// tableau: after phase 1 they can never re-enter the basis (every
+// active row's basic variable is structural or slack), so the columns
+// are dead weight in every pivot, reduction and restore. The surviving
+// columns move into one contiguous backing array, which also turns the
+// whole-tableau CopyFrom into a single copy.
+func (s *Simplex) compact() {
+	w := s.artStart
+	s.backing = make([]float64, len(s.rows)*w)
+	for i, row := range s.rows {
+		nr := s.backing[i*w : (i+1)*w : (i+1)*w]
+		copy(nr, row[:w])
+		s.rows[i] = nr
+	}
+	s.ncols = w
+	s.barred = nil
+	s.version++
+}
+
 // reduce zeroes the objective row's entries at basic columns.
 func (s *Simplex) reduce(obj []float64) {
 	for i := range s.rows {
@@ -259,6 +370,9 @@ func (s *Simplex) reduce(obj []float64) {
 			continue
 		}
 		b := s.basis[i]
+		if b >= len(obj) {
+			continue // inactive-guarded in practice; defensive for basic artificials
+		}
 		if c := obj[b]; c != 0 {
 			row := s.rows[i]
 			for j := range obj {
@@ -270,30 +384,32 @@ func (s *Simplex) reduce(obj []float64) {
 	}
 }
 
-// iterate runs primal simplex pivots until optimality or unboundedness.
-// It returns false if the problem is unbounded in the given objective.
-// extra, when non-nil, bars additional columns from entering. The
-// objective gain of each pivot is reduced-cost * ratio, which is tracked
-// to detect degenerate stalling and switch to Bland's anti-cycling rule.
-func (s *Simplex) iterate(obj []float64, extra []bool) bool {
-	maxIter := 200*(len(s.rows)+s.ncols) + 20000
+// iterate runs primal simplex pivots until optimality, unboundedness or
+// budget exhaustion. The objective gain of each pivot is
+// reduced-cost * ratio, which is tracked to detect degenerate stalling
+// and switch to Bland's anti-cycling rule.
+func (s *Simplex) iterate(obj []float64) iterStatus {
+	if s.ref {
+		return s.referenceIterate(obj)
+	}
 	stall := 0
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := 0; iter < s.budget; iter++ {
 		bland := stall > 2*(len(s.rows)+10)
-		j := s.chooseEntering(obj, extra, bland)
+		j := s.chooseEntering(obj, bland)
 		if j < 0 {
-			return true // optimal
+			return iterOptimal
 		}
 		i := s.chooseLeaving(j)
 		if i < 0 {
-			return false // unbounded
+			return iterUnbounded
 		}
 		c := obj[j] // reduced cost of the entering variable
 		s.pivot(i, j)
-		// Update the objective row for the pivot.
-		row := s.rows[i]
-		for k := range obj {
-			obj[k] -= c * row[k]
+		// Update the objective row for the pivot: only the pivot row's
+		// nonzero columns (collected by pivot) can change it.
+		prow := s.rows[i]
+		for _, k := range s.nz {
+			obj[k] -= c * prow[k]
 		}
 		obj[j] = 0
 		if gain := c * s.rhs[i]; gain > 1e-10 {
@@ -302,16 +418,15 @@ func (s *Simplex) iterate(obj []float64, extra []bool) bool {
 			stall++
 		}
 	}
-	// Iteration limit: treat as optimal-so-far; callers see a feasible
-	// point. This should not happen on IPET systems.
-	return true
+	return iterTruncated
 }
 
-func (s *Simplex) chooseEntering(obj []float64, extra []bool, bland bool) int {
+func (s *Simplex) chooseEntering(obj []float64, bland bool) int {
 	best := -1
 	bestVal := tol
+	barred := s.barred // nil once compacted: no column is ever barred again
 	for j := 0; j < s.ncols; j++ {
-		if s.barred[j] || (extra != nil && extra[j]) {
+		if barred != nil && barred[j] {
 			continue
 		}
 		if obj[j] > bestVal {
@@ -345,25 +460,41 @@ func (s *Simplex) chooseLeaving(j int) int {
 	return best
 }
 
+// pivot performs one basis exchange. It scans the pivot row once,
+// scaling it and collecting its nonzero columns into s.nz; every other
+// row (and the caller's objective row) is then updated only at those
+// columns — the skipped entries would see `x -= f*0`, a no-op. The
+// arithmetic performed is exactly the dense reference's, on exactly the
+// entries that can change.
 func (s *Simplex) pivot(pi, pj int) {
-	prow := s.rows[pi]
-	p := prow[pj]
-	inv := 1 / p
-	for j := range prow {
-		prow[j] *= inv
+	if s.ref {
+		s.referencePivot(pi, pj)
+		return
 	}
+	prow := s.rows[pi]
+	inv := 1 / prow[pj]
+	nz := s.nz[:0]
+	for j, v := range prow {
+		if v == 0 {
+			continue
+		}
+		prow[j] = v * inv
+		nz = append(nz, j)
+	}
+	s.nz = nz
 	s.rhs[pi] *= inv
 	prow[pj] = 1 // avoid drift
+	s.markDirty(pi)
 	for i := range s.rows {
 		if i == pi || !s.active[i] {
 			continue
 		}
-		f := s.rows[i][pj]
+		row := s.rows[i]
+		f := row[pj]
 		if f == 0 {
 			continue
 		}
-		row := s.rows[i]
-		for j := range row {
+		for _, j := range nz {
 			row[j] -= f * prow[j]
 		}
 		row[pj] = 0
@@ -371,16 +502,35 @@ func (s *Simplex) pivot(pi, pj int) {
 		if s.rhs[i] < 0 && s.rhs[i] > -1e-9 {
 			s.rhs[i] = 0
 		}
+		s.markDirty(i)
 	}
 	s.basis[pi] = pj
+	s.version++
+}
+
+// markDirty records that row i diverged from the tracked pristine
+// source. Tracking starts at Clone/CopyFrom; a never-restored simplex
+// (like the pristine source itself) skips the bookkeeping.
+func (s *Simplex) markDirty(i int) {
+	if s.dirty == nil || s.dirty[i] {
+		return
+	}
+	s.dirty[i] = true
+	s.dirtyRows = append(s.dirtyRows, i)
 }
 
 // Maximize runs phase 2 for the given objective (length = number of
 // structural variables), warm-starting from the current basis. The
-// returned solution aliases freshly allocated slices.
+// returned solution aliases freshly allocated slices. If the pivot
+// budget runs out before optimality is proven, Maximize returns an
+// error wrapping ErrPivotLimit instead of silently reporting the
+// best-so-far basis as optimal.
 func (s *Simplex) Maximize(c []float64) (*Solution, error) {
 	if len(c) != s.n {
 		return nil, fmt.Errorf("lp: objective has %d entries, want %d", len(c), s.n)
+	}
+	if s.truncated {
+		return nil, fmt.Errorf("lp: phase 1 incomplete: %w", ErrPivotLimit)
 	}
 	if !s.feasible {
 		return &Solution{Status: Infeasible}, nil
@@ -388,8 +538,11 @@ func (s *Simplex) Maximize(c []float64) (*Solution, error) {
 	obj := make([]float64, s.ncols)
 	copy(obj, c)
 	s.reduce(obj)
-	if !s.iterate(obj, nil) {
+	switch s.iterate(obj) {
+	case iterUnbounded:
 		return &Solution{Status: Unbounded}, nil
+	case iterTruncated:
+		return nil, fmt.Errorf("lp: objective over %d rows x %d cols: %w", len(s.rows), s.ncols, ErrPivotLimit)
 	}
 	x := make([]float64, s.n)
 	for i := range s.rows {

@@ -1,0 +1,75 @@
+package lp
+
+// This file retains the dense simplex implementation — the exact pivot
+// and iteration loops the package shipped before the sparse/compacted
+// hot path — as an executable specification. NewReferenceSimplex builds
+// a Simplex that runs these loops over the uncompacted tableau (barred
+// artificial columns kept, whole rows swept on every pivot). The
+// differential tests assert that both implementations produce identical
+// pivot sequences and bit-identical solutions; internal/ipet and
+// internal/core extend the comparison to whole-pipeline byte-identity
+// on the Mälardalen benchmarks.
+
+// referenceIterate is the dense phase-2 loop: full-width objective
+// updates after every pivot.
+func (s *Simplex) referenceIterate(obj []float64) iterStatus {
+	stall := 0
+	for iter := 0; iter < s.budget; iter++ {
+		bland := stall > 2*(len(s.rows)+10)
+		j := s.chooseEntering(obj, bland)
+		if j < 0 {
+			return iterOptimal
+		}
+		i := s.chooseLeaving(j)
+		if i < 0 {
+			return iterUnbounded
+		}
+		c := obj[j] // reduced cost of the entering variable
+		s.referencePivot(i, j)
+		// Update the objective row for the pivot.
+		row := s.rows[i]
+		for k := range obj {
+			obj[k] -= c * row[k]
+		}
+		obj[j] = 0
+		if gain := c * s.rhs[i]; gain > 1e-10 {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return iterTruncated
+}
+
+// referencePivot is the dense basis exchange: every row is updated over
+// its full width, zeros included.
+func (s *Simplex) referencePivot(pi, pj int) {
+	prow := s.rows[pi]
+	p := prow[pj]
+	inv := 1 / p
+	for j := range prow {
+		prow[j] *= inv
+	}
+	s.rhs[pi] *= inv
+	prow[pj] = 1 // avoid drift
+	for i := range s.rows {
+		if i == pi || !s.active[i] {
+			continue
+		}
+		f := s.rows[i][pj]
+		if f == 0 {
+			continue
+		}
+		row := s.rows[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[pj] = 0
+		s.rhs[i] -= f * s.rhs[pi]
+		if s.rhs[i] < 0 && s.rhs[i] > -1e-9 {
+			s.rhs[i] = 0
+		}
+	}
+	s.basis[pi] = pj
+	s.version++
+}
