@@ -401,3 +401,20 @@ func BenchmarkAnalyzeSingle(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAnalyze256 is the end-to-end analysis on a 256-set cache
+// (16KB, 4-way): the configuration whose penalty reduction folds 256
+// per-set distributions and therefore exercises the monoid-power /
+// in-tree-coarsening ConvolveAll path inside the full pipeline
+// (serial, so the gate tracks algorithmic cost, not core count).
+func BenchmarkAnalyze256(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	cfg.Sets = 256
+	for i := 0; i < b.N; i++ {
+		opt := pwcet.Options{Cache: cfg, Pfail: 1e-4, Mechanism: pwcet.None, Workers: 1}
+		if _, err := pwcet.Analyze(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -90,6 +90,17 @@ type Options struct {
 	// the flag exists purely to validate the optimized path, at a
 	// substantial slowdown.
 	Reference bool
+	// ExactConvolve routes every penalty reduction through the retained
+	// reference convolution executor (dist.ConvolveAllExactWith): the
+	// same canonical order and merge plan as the optimized monoid
+	// engine, but no subtree sharing and no in-tree coarsening — the
+	// convolution analogue of Reference. Byte-identical to the default
+	// whenever no coarsening binds; when the support cap binds hard
+	// (deeply over-cap configurations arm in-tree coarsening), the
+	// default trades a bounded, documented exceedance-area budget for a
+	// large speedup, and this flag recovers the final-coarsen-only
+	// semantics for differential validation.
+	ExactConvolve bool
 }
 
 func (o Options) withDefaults() Options {
@@ -278,14 +289,15 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 func (r *Result) buildDistributions(workers int) error {
 	cfg := r.Options.Cache
 	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Coarsen, workers)
+		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
 	if err != nil {
 		return err
 	}
 	r.PerSet = perSet
 	if r.DataFMM != nil {
 		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
-			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers)
+			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers,
+			r.Options.ExactConvolve)
 		if err != nil {
 			return err
 		}
@@ -300,9 +312,10 @@ func (r *Result) buildDistributions(workers int) error {
 // dist.ConvolveAllWith's parallel pairwise tree (coarsening only the
 // partial products that exceed maxSupport, with the configured
 // strategy) and the result is folded into the accumulator; workers
-// bounds the tree's parallelism.
+// bounds the tree's parallelism. exact selects the retained reference
+// executor instead (Options.ExactConvolve).
 func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.Mechanism,
-	acc *dist.Dist, maxSupport int, strategy dist.CoarsenStrategy, workers int) ([]*dist.Dist, *dist.Dist, error) {
+	acc *dist.Dist, maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool) ([]*dist.Dist, *dist.Dist, error) {
 	var pwf []float64
 	if mech == cache.MechanismRW {
 		pwf = fault.PWFReliableWay(cfg.Ways, model.PBF) // equation 3
@@ -324,7 +337,11 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 		}
 		perSet[s] = d
 	}
-	total := dist.ConvolveAllWith(perSet, maxSupport, workers, strategy)
+	reduce := dist.ConvolveAllWith
+	if exact {
+		reduce = dist.ConvolveAllExactWith
+	}
+	total := reduce(perSet, maxSupport, workers, strategy)
 	acc = acc.Convolve(total).CoarsenToWith(maxSupport, strategy)
 	return perSet, acc, nil
 }
@@ -371,7 +388,7 @@ func AnalyzeAll(p *program.Program, opt Options) (map[cache.Mechanism]*Result, e
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	e, err := NewEngine(p, EngineOptions{Workers: opt.Workers, Reference: opt.Reference})
+	e, err := NewEngine(p, EngineOptions{Workers: opt.Workers, Reference: opt.Reference, ExactConvolve: opt.ExactConvolve})
 	if err != nil {
 		return nil, err
 	}

@@ -183,6 +183,12 @@ type EngineOptions struct {
 	// see Options.Reference. Bit-identical results, much slower;
 	// for differential validation only.
 	Reference bool
+	// ExactConvolve routes every query's penalty reduction through the
+	// retained reference convolution executor — see
+	// Options.ExactConvolve. The convolution analogue of Reference:
+	// byte-identical results whenever no coarsening binds, final-
+	// coarsen-only semantics (no in-tree coarsening) when it does.
+	ExactConvolve bool
 }
 
 // Engine is a reusable analysis session for one program. It memoizes
@@ -201,6 +207,7 @@ type Engine struct {
 	workers  int
 	hook     func(ArtifactEvent)
 	ref      bool
+	exact    bool
 	pristine *ipet.System
 
 	mu      sync.Mutex
@@ -302,6 +309,7 @@ func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
 		workers:  opt.Workers,
 		hook:     opt.Hook,
 		ref:      opt.Reference,
+		exact:    opt.ExactConvolve,
 		pristine: sys,
 		classes:  make(map[classKey]*classEntry),
 		ctxs:     make(map[ctxKey]*ctxEntry),
@@ -495,7 +503,8 @@ func (e *Engine) Analyze(q Query) (*Result, error) {
 // parallelism never changes any result.
 func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 	opt := q.options(e.workers)
-	opt.Reference = e.ref // echoed in Result.Options like the one-shot path
+	opt.Reference = e.ref       // echoed in Result.Options like the one-shot path
+	opt.ExactConvolve = e.exact // ditto; buildDistributions reads it off Result.Options
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err

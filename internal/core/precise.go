@@ -83,7 +83,11 @@ func (r *Result) attachPreciseSRB(fmm ipet.FMM, workers int) error {
 		}
 		perSet[s] = d
 	}
-	r.PenaltyPrecise = dist.ConvolveAllWith(perSet, r.Options.MaxSupport, workers, r.Options.Coarsen)
+	reduce := dist.ConvolveAllWith
+	if r.Options.ExactConvolve {
+		reduce = dist.ConvolveAllExactWith
+	}
+	r.PenaltyPrecise = reduce(perSet, r.Options.MaxSupport, workers, r.Options.Coarsen)
 	r.ProbMultiFullSets = probMultiFullSets(r.Model.PBF, cfg.Sets, cfg.Ways)
 	r.PWCET = r.FaultFreeWCET + r.mixtureQuantile(r.Options.TargetExceedance)
 	return nil

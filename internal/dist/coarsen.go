@@ -46,11 +46,25 @@
 // the deepest quantiles jump to Max() — still sound, but ~20x
 // pessimistic at 1e-12 (pinned as the regression the default scheme
 // fixes, same test as above).
+//
+// # In-tree variants (the ConvolveAll hot path)
+//
+// The monoid ConvolveAll executor coarsens inside the merge tree and
+// uses two specialized engines built on the same soundness contract:
+// coarsenSoft, a linear-time threshold sweep that thins merge operands
+// under an explicit exceedance-area budget and a maximum merge-run
+// span (it stops early rather than overspend — the support target is
+// best-effort), and coarsenLeastErrorCapped, the greedy heap above
+// with a run-span eligibility cap that keeps the final hard coarsen
+// from collapsing a pre-thinned tail into the support maximum. The
+// classic engines remain the only ones reachable through the public
+// CoarsenTo/CoarsenToWith API; see the method comments and reduce.go
+// for how the executor splits its error budget across tree nodes.
 package dist
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -141,38 +155,71 @@ func (d *Dist) CoarsenToWith(maxSupport int, strategy CoarsenStrategy) *Dist {
 // current right neighbor, at the exceedance-area cost recorded when
 // the candidate was pushed. Stale candidates (the pair changed since)
 // are recognized by the version stamp and skipped on pop.
+//
+// Candidates live in a flat min-heap ordered by (cost, left) —
+// maintained with the package's shared siftDownFunc instead of
+// container/heap, whose interface methods box every popped element.
+// The in-tree coarsening of ConvolveAll runs this engine at every big
+// merge node, so the heap is on the reduction's critical path.
 type mergeCand struct {
 	cost float64
 	left int
 	ver  uint32
 }
 
-// mergeHeap is a min-heap of merge candidates ordered by cost, ties
-// broken by the left index so the merge sequence — and therefore the
-// result — is deterministic.
-type mergeHeap []mergeCand
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].cost != h[j].cost {
-		return h[i].cost < h[j].cost
+// mergeCandLess orders candidates by cost, ties broken by the left
+// index so the merge sequence — and therefore the result — is
+// deterministic.
+func mergeCandLess(a, b mergeCand) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-	return h[i].left < h[j].left
+	return a.left < b.left
 }
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeCand)) }
-func (h *mergeHeap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
 
-// coarsenLeastError implements CoarsenLeastError: a doubly linked list
-// of live atoms plus a lazily invalidated min-heap of adjacent-pair
-// merge costs. Each merge moves the left atom's (accumulated) mass to
-// its right neighbor, exactly the upward direction the soundness
-// contract requires; the rightmost atom has no right neighbor, so the
-// support maximum can never move.
-func (d *Dist) coarsenLeastError(maxSupport int) *Dist {
+// coarsenLeastError implements CoarsenLeastError: the capped engine
+// with the span cap disabled, which makes every candidate eligible and
+// reproduces the classic greedy least-error merge bit for bit.
+func (d *Dist) coarsenLeastError(target int) *Dist {
+	return d.coarsenLeastErrorCapped(target, math.Inf(1))
+}
+
+// coarsenLeastErrorCapped is the greedy least-error merge engine: a
+// doubly linked list of live atoms plus a lazily invalidated min-heap
+// of adjacent-pair merge costs. Each merge moves the left atom's
+// (accumulated) mass to its right neighbor, exactly the upward
+// direction the soundness contract requires; the rightmost atom has no
+// right neighbor, so the support maximum can never move.
+//
+// maxGap additionally bounds every merged run's value span: a merge is
+// eligible only while destination − (smallest value folded into the
+// run) stays within maxGap, so no exceedance quantile — at any
+// probability, however deep in the tail — can inflate by more than
+// maxGap. ConvolveAll's in-tree mode relies on this: its soft passes
+// pre-thin the operands' tail dust, and on such pre-thinned supports
+// the uncapped greedy engine's cost equilibrium rises until it flings
+// whole near-massless tail bands into the support maximum (exactly the
+// keep-heaviest failure mode the least-error scheme exists to avoid).
+// With the cap the engine freezes the already-sparse tail and spends
+// its merges on the dense body instead. When the cap leaves too few
+// eligible merges to reach target (sparse supports clustered wider
+// than maxGap), the engine finishes with one uncapped pass over the
+// survivors — the support bound is the contract, the span cap is best
+// effort.
+//
+// Eligibility is checked once, when a candidate is pushed: any change
+// to a pair — partner, accumulated mass, and with it the run's span —
+// bumps ver and re-pushes, so a non-stale candidate's pair is in
+// exactly the state it was pushed in, and maxGap = +Inf short-circuits
+// the check for the classic engine.
+func (d *Dist) coarsenLeastErrorCapped(target int, maxGap float64) *Dist {
 	n := len(d.values)
 	mass := make([]float64, n)
 	copy(mass, d.probs)
+	low := make([]float64, n) // smallest original value folded into atom i
+	for i, v := range d.values {
+		low[i] = float64(v)
+	}
 	next := make([]int, n)
 	prev := make([]int, n)
 	ver := make([]uint32, n)
@@ -181,35 +228,63 @@ func (d *Dist) coarsenLeastError(maxSupport int) *Dist {
 		next[i] = i + 1
 		prev[i] = i - 1
 	}
-	h := make(mergeHeap, 0, n)
+	h := make([]mergeCand, 0, n)
 	// The gap is computed in float64 (values are sorted, but the int64
 	// difference of two extreme values may not fit int64); the cost is
 	// a merge-ordering heuristic, so the rounding is harmless.
-	push := func(i int) {
+	append_ := func(i int) {
 		j := next[i]
+		if float64(d.values[j])-low[i] > maxGap {
+			return // run span cap: this merge would travel too far
+		}
 		h = append(h, mergeCand{
 			cost: mass[i] * (float64(d.values[j]) - float64(d.values[i])),
 			left: i,
 			ver:  ver[i],
 		})
 	}
-	for i := 0; i < n-1; i++ {
-		push(i)
+	push := func(i int) {
+		append_(i)
+		for c := len(h) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !mergeCandLess(h[c], h[p]) {
+				break
+			}
+			h[c], h[p] = h[p], h[c]
+			c = p
+		}
 	}
-	heap.Init(&h)
-	// Invariant: every live adjacent pair (i, next[i]) has at least one
-	// heap candidate stamped with the current ver[i]; any change to the
-	// pair (partner or mass) bumps ver[i] and re-pushes. With alive >
-	// maxSupport >= 1 there is always a live pair, so the heap cannot
-	// run dry before the support fits.
-	for alive := n; alive > maxSupport; {
-		c := heap.Pop(&h).(mergeCand)
+	for i := 0; i < n-1; i++ {
+		append_(i)
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownFunc(h, i, mergeCandLess)
+	}
+	pop := func() mergeCand {
+		top := h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		siftDownFunc(h, 0, mergeCandLess)
+		return top
+	}
+	// Invariant: every live adjacent pair (i, next[i]) whose merge is
+	// span-eligible has at least one heap candidate stamped with the
+	// current ver[i]; any change to the pair (partner or mass) bumps
+	// ver[i] and re-pushes. Without a span cap there is always a live
+	// pair while alive > target >= 1, so the heap runs dry only when
+	// the cap has frozen every remaining pair.
+	alive := n
+	for alive > target && len(h) > 0 {
+		c := pop()
 		if c.ver != ver[c.left] {
 			continue // stale: the pair changed after this candidate was pushed
 		}
 		i := c.left
 		j := next[i]
 		mass[j] += mass[i]
+		if low[i] < low[j] {
+			low[j] = low[i]
+		}
 		removed[i] = true
 		ver[i]++ // i is gone: invalidate (i, j)
 		ver[j]++ // j's mass grew: invalidate (j, next[j])
@@ -218,25 +293,163 @@ func (d *Dist) coarsenLeastError(maxSupport int) *Dist {
 			prev[j] = p
 			ver[p]++ // p's partner changed: invalidate (p, i)
 			push(p)
-			heap.Fix(&h, len(h)-1)
 		} else {
 			prev[j] = -1
 		}
 		if next[j] < n {
 			push(j)
-			heap.Fix(&h, len(h)-1)
 		}
 		alive--
 	}
-	values := make([]int64, 0, maxSupport)
-	probs := make([]float64, 0, maxSupport)
+	values := make([]int64, 0, alive)
+	probs := make([]float64, 0, alive)
 	for i := 0; i < n; i++ {
 		if !removed[i] {
 			values = append(values, d.values[i])
 			probs = append(probs, mass[i])
 		}
 	}
+	if alive > target {
+		// The span cap ran the heap dry early: finish uncapped on the
+		// survivors so the support bound always holds.
+		return fromSorted(values, probs).coarsenLeastError(target)
+	}
 	return fromSorted(values, probs)
+}
+
+// quickselectFloat partially sorts a in place and returns its k-th
+// smallest element (0-indexed). Iterative Hoare partitioning with a
+// median-of-three pivot: deterministic, O(len(a)) expected, and immune
+// to the sorted and all-equal inputs that break a fixed-end pivot.
+func quickselectFloat(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		p := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[lo]
+}
+
+// coarsenSoft is the in-tree coarsening pass of ConvolveAll: a linear
+// threshold approximation of the least-error greedy merge, with two
+// hard guards the greedy engine does not need.
+//
+// It quickselects θ, the (n−target)-th smallest adjacent merge cost
+// mass(i)·(v_{i+1} − v_i), then sweeps left to right merging the atoms
+// whose cost is below θ (ties at θ are taken left to right until the
+// merge count target is met) — approximately the same atom set the
+// greedy heap would merge, at O(n) instead of O(n log n). The guards:
+//
+//   - maxGap bounds every merge run's value span, measured to the run's
+//     true destination (the next kept atom). Mass never travels more
+//     than maxGap upward, so no exceedance quantile — at any
+//     probability, however deep in the tail — can inflate by more than
+//     maxGap. The area budget alone cannot provide this: deep-tail
+//     atoms carry so little mass that flinging them across huge gaps is
+//     nearly free in area yet moves the deep quantiles arbitrarily.
+//   - budget bounds the total exceedance-curve area the pass may add
+//     (the returned spent, which equals the mean shift); a run that
+//     would cross it stays unmerged.
+//
+// The guards are enforced incrementally per extension against the
+// run's current destination, which is exactly the binding check when
+// the run finally closes. The support may exceed target when the
+// guards bite; the result is the receiver itself when nothing merges.
+// Soundness is the same contract as every coarsening here: mass only
+// ever moves to a larger support value.
+func (d *Dist) coarsenSoft(target int, budget, maxGap float64) (*Dist, float64) {
+	n := len(d.values)
+	if n <= target {
+		return d, 0
+	}
+	m := n - target
+	costs := make([]float64, n-1)
+	for i := range costs {
+		costs[i] = d.probs[i] * (float64(d.values[i+1]) - float64(d.values[i]))
+	}
+	sel := make([]float64, n-1)
+	copy(sel, costs)
+	theta := quickselectFloat(sel, m-1)
+	ties := m
+	for _, c := range costs {
+		if c < theta {
+			ties--
+		}
+	}
+
+	values := make([]int64, 0, target)
+	probs := make([]float64, 0, target)
+	var spent float64
+	// The open run: atoms already marked to merge upward, waiting for
+	// the next kept atom. Closing the run at value v adds exactly
+	// runMass·v − runMassV of exceedance area.
+	var runMass, runMassV, runMin float64
+	runOpen := false
+	for i := 0; i < n; i++ {
+		if i < n-1 {
+			c := costs[i]
+			if c < theta || (c == theta && ties > 0) {
+				lo := float64(d.values[i])
+				if runOpen && runMin < lo {
+					lo = runMin
+				}
+				destV := float64(d.values[i+1])
+				nm := runMass + d.probs[i]
+				nmv := runMassV + d.probs[i]*float64(d.values[i])
+				if destV-lo <= maxGap && spent+(nm*destV-nmv) <= budget {
+					runMass, runMassV, runMin, runOpen = nm, nmv, lo, true
+					if c == theta {
+						ties--
+					}
+					continue
+				}
+			}
+		}
+		// Atom i is kept: any open run lands on it.
+		p := d.probs[i]
+		if runOpen {
+			spent += runMass*float64(d.values[i]) - runMassV
+			p += runMass
+			runMass, runMassV, runOpen = 0, 0, false
+		}
+		values = append(values, d.values[i])
+		probs = append(probs, p)
+	}
+	if len(values) == n {
+		return d, 0
+	}
+	return fromSorted(values, probs), spent
 }
 
 // coarsenKeepHeaviest implements CoarsenKeepHeaviest: rank atoms by

@@ -214,3 +214,59 @@ func TestCoarsenLeastErrorTailFidelity(t *testing.T) {
 			float64(khQ)/float64(exactQ), khQ, exactQ)
 	}
 }
+
+// TestCoarsenLeastErrorTailFidelityInTree is the golden test of the
+// in-tree coarsening regime specifically: on the same deeply over-cap
+// 256-set configuration, the optimized reduction must actually arm its
+// budgeted in-tree coarsening (the exact support is ~25x the cap, far
+// past the arming threshold), stay within the advertised area budget,
+// and still deliver deep-tail quantiles within 1.10x of uncapped-exact
+// at every certification target — measured ~1.01x, pinned with head
+// room so a tail-fidelity regression in the soft passes, the span caps
+// or the capped final coarsening cannot land silently. The
+// final-coarsen-only exact executor at the same cap is the control: it
+// shows the fidelity the budget-free reference achieves, and the armed
+// path must stay within 1.10x of IT as well (in-tree coarsening is a
+// speed trade, not a precision cliff).
+func TestCoarsenLeastErrorTailFidelityInTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes a ~36000-atom exact reference distribution")
+	}
+	const defaultMaxSupport = 4096 // core.DefaultMaxSupport (no import cycle)
+	ds := tailDists(t, 256)
+	if rb := reductionBound(canonicalSort(ds)); rb <= inTreeSlack*int64(defaultMaxSupport) {
+		t.Fatalf("test construction: reductionBound %d does not arm in-tree coarsening at cap %d",
+			rb, defaultMaxSupport)
+	}
+	exact := ConvolveAllWith(ds, 0, 4, CoarsenLeastError) // cap disabled: exact
+	inTree, st := convolveAllOpt(ds, defaultMaxSupport, 4, CoarsenLeastError)
+	if st.softBudget == 0 {
+		t.Fatal("in-tree coarsening did not arm on the 256-set configuration")
+	}
+	if st.softSpent > st.softBudget {
+		t.Fatalf("in-tree area spend %g exceeds the budget %g", st.softSpent, st.softBudget)
+	}
+	control := ConvolveAllExactWith(ds, defaultMaxSupport, 4, CoarsenLeastError)
+	if !exact.DominatedBy(inTree, 1e-9) {
+		t.Fatal("the armed result does not dominate the exact distribution")
+	}
+	for _, target := range []float64{1e-9, 1e-12, 1e-15} {
+		exactQ := exact.QuantileExceedance(target)
+		gotQ := inTree.QuantileExceedance(target)
+		controlQ := control.QuantileExceedance(target)
+		t.Logf("target %g: exact %d, in-tree %d (%.3fx), final-coarsen-only %d (%.3fx)",
+			target, exactQ, gotQ, float64(gotQ)/float64(exactQ),
+			controlQ, float64(controlQ)/float64(exactQ))
+		if gotQ < exactQ {
+			t.Errorf("target %g: in-tree quantile %d below exact %d (unsound)", target, gotQ, exactQ)
+		}
+		if float64(gotQ) > 1.10*float64(exactQ) {
+			t.Errorf("target %g: in-tree quantile %d more than 1.10x exact %d (%.3fx)",
+				target, gotQ, exactQ, float64(gotQ)/float64(exactQ))
+		}
+		if float64(gotQ) > 1.10*float64(controlQ) {
+			t.Errorf("target %g: in-tree quantile %d more than 1.10x the final-coarsen-only control %d",
+				target, gotQ, controlQ)
+		}
+	}
+}

@@ -21,6 +21,11 @@ const maxDenseSpan = 1 << 22
 //     granularity), products are accumulated into a single
 //     preallocated buffer indexed by value offset, O(n·m) with no
 //     sorting and no allocation beyond the buffer and the result;
+//   - when the raw span is too wide but both supports share a common
+//     value stride g > 1 (penalties are multiples of the miss penalty,
+//     so whole reduction trees do), the same flat accumulation runs on
+//     the compressed grid base + k·g with span/g cells — bitwise the
+//     same atoms in the same order, at a fraction of the buffer;
 //   - otherwise — wide-span operands, the shape of the high levels of
 //     ConvolveAll's reduction tree — the n sorted per-atom sum streams
 //     are merged through a deterministic k-way heap, O(n·m·log k) with
@@ -55,9 +60,55 @@ func (d *Dist) Convolve(o *Dist) *Dist {
 	// span itself would wrap to 0.
 	diff := uint64(d.values[n-1]+o.values[m-1]) - uint64(base)
 	if diff < uint64(denseLimit(n*m)) {
+		if diff >= minStrideCells {
+			if g := strideGCD(d, o); g > 1 {
+				return d.convolveDenseStride(o, base, int(diff/g)+1, g)
+			}
+		}
 		return d.convolveDense(o, base, int(diff)+1)
 	}
+	// A raw span too wide for the dense buffer often compresses onto a
+	// coarse grid: penalty values are multiples of the cache miss
+	// penalty, so whole reduction trees share a common value stride.
+	if g := strideGCD(d, o); g > 1 {
+		if cells := diff/g + 1; cells <= uint64(denseLimit(n*m)) {
+			return d.convolveDenseStride(o, base, int(cells), g)
+		}
+	}
 	return d.convolveKWay(o)
+}
+
+// minStrideCells is the raw span under which the plain dense buffer is
+// already cache-resident and the stride grid would only add the offset
+// precomputation. Above it, a shared stride g > 1 divides the buffer
+// (the two dense paths produce bitwise-identical results, so the choice
+// is purely a locality matter).
+const minStrideCells = 1 << 15
+
+// strideGCD returns the greatest common divisor of every adjacent value
+// difference of both operands: the coarsest grid base + k·g that holds
+// every pair sum.
+func strideGCD(d, o *Dist) uint64 {
+	return valuesGCD(valuesGCD(0, d.values), o.values)
+}
+
+// valuesGCD folds the adjacent differences of a sorted value slice into
+// a running gcd g (0 acts as the gcd identity). Differences are taken
+// in uint64 — values are sorted ascending, so each difference is
+// positive and exact even when the raw int64 subtraction would
+// overflow. Returns early on 1 (the common case for unstructured
+// supports).
+func valuesGCD(g uint64, vs []int64) uint64 {
+	for i := 1; i < len(vs); i++ {
+		diff := uint64(vs[i]) - uint64(vs[i-1])
+		for diff != 0 {
+			g, diff = diff, g%diff
+		}
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
 }
 
 // checkSumOverflow panics when a+b is not representable in int64. The
@@ -107,6 +158,54 @@ func (d *Dist) convolveDense(o *Dist, base int64, span int) *Dist {
 	return fromSorted(values, probs)
 }
 
+// convolveDenseStride is convolveDense on the compressed grid
+// base + k·g: when both operands' supports share a stride g > 1, every
+// pair sum lands on the grid and the accumulator needs span/g cells
+// instead of span — a 20 MB cache-thrashing buffer shrinks to a
+// cache-resident one for miss-penalty-aligned supports. The inner loop
+// adds into a contiguous offset-indexed row (ooff is precomputed once,
+// no per-atom division or search), and a cell's contributions arrive in
+// the same ascending-i order as convolveDense, so the choice between
+// the two dense paths can never change an atom's accumulation order.
+func (d *Dist) convolveDenseStride(o *Dist, base int64, cells int, g uint64) *Dist {
+	buf := make([]float64, cells)
+	ooff := denseOffsets(o, g)
+	for i, vi := range d.values {
+		pi := d.probs[i]
+		row := buf[(uint64(vi)-uint64(d.values[0]))/g:]
+		for j, oj := range ooff {
+			row[oj] += pi * o.probs[j]
+		}
+	}
+	cnt := 0
+	for _, p := range buf {
+		if p > 0 {
+			cnt++
+		}
+	}
+	values := make([]int64, 0, cnt)
+	probs := make([]float64, 0, cnt)
+	for k, p := range buf {
+		if p > 0 {
+			// Exact even when k·g alone exceeds int64: the sum is
+			// computed mod 2^64 and the true value fits (extreme pair
+			// sums were overflow-checked by the caller).
+			values = append(values, int64(uint64(base)+uint64(k)*g))
+			probs = append(probs, p)
+		}
+	}
+	return fromSorted(values, probs)
+}
+
+// denseOffsets precomputes each atom's cell offset (v - Min) / g.
+func denseOffsets(o *Dist, g uint64) []int {
+	ooff := make([]int, len(o.values))
+	for j, vj := range o.values {
+		ooff[j] = int((uint64(vj) - uint64(o.values[0])) / g)
+	}
+	return ooff
+}
+
 // convolveWorkers is Convolve with the work split across up to workers
 // goroutines by partitioning the OUTPUT value range. Every output atom
 // is owned by exactly one partition and accumulates its pair products
@@ -133,7 +232,17 @@ func convolveWorkersSem(d *Dist, o *Dist, workers int, sem chan struct{}) *Dist 
 	base := d.values[0] + o.values[0]
 	diff := uint64(d.values[n-1]+o.values[m-1]) - uint64(base)
 	if diff < uint64(denseLimit(n*m)) {
+		if diff >= minStrideCells {
+			if g := strideGCD(d, o); g > 1 {
+				return d.convolveDenseStridePar(o, base, int(diff/g)+1, g, workers, sem)
+			}
+		}
 		return d.convolveDensePar(o, base, int(diff)+1, workers, sem)
+	}
+	if g := strideGCD(d, o); g > 1 {
+		if cells := diff/g + 1; cells <= uint64(denseLimit(n*m)) {
+			return d.convolveDenseStridePar(o, base, int(cells), g, workers, sem)
+		}
 	}
 	if diff >= 1<<62 {
 		// Astronomically wide span: partition arithmetic would not fit
@@ -175,7 +284,14 @@ func (d *Dist) convolveDensePar(o *Dist, base int64, span, workers int, sem chan
 			}
 		}
 	})
-	// Parallel extraction: count per chunk, prefix offsets, fill.
+	return extractDensePar(buf, base, 1, chunks, workers, bound, sem)
+}
+
+// extractDensePar turns a dense cell buffer into a Dist in parallel:
+// count per chunk, prefix offsets, fill. Cell k holds value
+// base + k·g. Chunks write disjoint output ranges, so the result is
+// independent of scheduling.
+func extractDensePar(buf []float64, base int64, g uint64, chunks, workers int, bound func(int) int, sem chan struct{}) *Dist {
 	counts := make([]int, chunks)
 	parallelFor(chunks, workers, sem, func(c int) {
 		cnt := 0
@@ -200,13 +316,45 @@ func (d *Dist) convolveDensePar(o *Dist, base int64, span, workers int, sem chan
 		lo := bound(c)
 		for k, p := range buf[lo:bound(c+1)] {
 			if p > 0 {
-				values[w] = base + int64(lo+k)
+				values[w] = int64(uint64(base) + uint64(lo+k)*g)
 				probs[w] = p
 				w++
 			}
 		}
 	})
 	return fromSorted(values, probs)
+}
+
+// convolveDenseStridePar is convolveDenseStride with the cell range
+// partitioned into contiguous chunks, each filled by one task — the
+// stride twin of convolveDensePar, with the same byte-identity
+// argument: a cell's contributions arrive in ascending i order
+// whatever the partition, because each chunk scans i ascending and a
+// given (i, cell) pair determines j uniquely.
+func (d *Dist) convolveDenseStridePar(o *Dist, base int64, cells int, g uint64, workers int, sem chan struct{}) *Dist {
+	buf := make([]float64, cells)
+	ooff := denseOffsets(o, g)
+	chunks := workers * 4
+	if chunks > cells {
+		chunks = cells
+	}
+	bound := func(c int) int { return int(int64(cells) * int64(c) / int64(chunks)) }
+	parallelFor(chunks, workers, sem, func(c int) {
+		lo, hi := bound(c), bound(c+1)
+		for i, vi := range d.values {
+			di := int((uint64(vi) - uint64(d.values[0])) / g)
+			pi := d.probs[i]
+			jlo := sort.Search(len(ooff), func(j int) bool { return di+ooff[j] >= lo })
+			for j := jlo; j < len(ooff); j++ {
+				cell := di + ooff[j]
+				if cell >= hi {
+					break
+				}
+				buf[cell] += pi * o.probs[j]
+			}
+		}
+	})
+	return extractDensePar(buf, base, g, chunks, workers, bound, sem)
 }
 
 // convolveKWayPar runs the k-way merge with the output sum range

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// powFold is the reference k-fold convolution Pow replaces: k plain
+// Convolve steps off the neutral element.
+func powFold(d *Dist, k int) *Dist {
+	acc := Degenerate(0)
+	for i := 0; i < k; i++ {
+		acc = acc.Convolve(d)
+	}
+	return acc
+}
+
+// FuzzPow pins Pow's square-and-multiply against the sequential fold
+// for arbitrary byte-derived distributions and exponents: identical
+// support, probabilities equal up to reassociation rounding, the
+// documented k = 0 and k = 1 identities, and panic agreement — Pow
+// must panic on int64 overflow of k·Min or k·Max exactly when the
+// fold's chained Convolve would, and never otherwise.
+func FuzzPow(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1}, uint8(0))
+	f.Add([]byte{7, 0, 0, 0, 0, 0, 0, 0, 3, 9, 0, 0, 0, 0, 0, 0, 0, 5}, uint8(1))
+	f.Add([]byte{7, 0, 0, 0, 0, 0, 0, 0, 3, 9, 0, 0, 0, 0, 0, 0, 0, 5}, uint8(6))
+	// Max near int64 overflow: k >= 2 must panic in both implementations.
+	overflow := make([]byte, 18)
+	binary.LittleEndian.PutUint64(overflow[0:8], uint64(int64(1)<<62))
+	overflow[8] = 1
+	overflow[17] = 1
+	f.Add(overflow, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, k8 uint8) {
+		// Decode 9-byte records like FuzzNew: 8 bytes of value, 1 byte
+		// of weight, normalized to unit mass. At most 3 atoms and k <= 8
+		// keep the exact support (up to 3^8 atoms) affordable.
+		var pts []Point
+		var sum float64
+		for len(data) >= 9 && len(pts) < 3 {
+			v := int64(binary.LittleEndian.Uint64(data[:8]))
+			w := float64(data[8])
+			pts = append(pts, Point{Value: v, Prob: w})
+			sum += w
+			data = data[9:]
+		}
+		if sum == 0 {
+			return
+		}
+		for i := range pts {
+			pts[i].Prob /= sum
+		}
+		d, err := New(pts)
+		if err != nil {
+			t.Fatalf("New rejected normalized input: %v", err)
+		}
+		k := int(k8 % 9)
+
+		run := func(f func() *Dist) (res *Dist, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return f(), false
+		}
+		want, foldPanic := run(func() *Dist { return powFold(d, k) })
+		got, powPanic := run(func() *Dist { return d.Pow(k) })
+		if foldPanic != powPanic {
+			t.Fatalf("k=%d: fold panicked=%v but Pow panicked=%v", k, foldPanic, powPanic)
+		}
+		if foldPanic {
+			return
+		}
+		switch k {
+		case 0:
+			if got.Len() != 1 || got.Max() != 0 {
+				t.Fatalf("Pow(0) = %v, want Degenerate(0)", got.Points())
+			}
+		case 1:
+			if got != d {
+				t.Fatal("Pow(1) did not return the receiver itself")
+			}
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("k=%d: support size %d, want fold's %d", k, got.Len(), want.Len())
+		}
+		wp := want.Points()
+		for i, p := range got.Points() {
+			if p.Value != wp[i].Value {
+				t.Fatalf("k=%d: support differs at %d: %d vs %d", k, i, p.Value, wp[i].Value)
+			}
+			if diff := math.Abs(p.Prob - wp[i].Prob); diff > 1e-12*wp[i].Prob+1e-300 {
+				t.Fatalf("k=%d: probability at value %d drifted beyond reassociation rounding: %g vs %g",
+					k, p.Value, p.Prob, wp[i].Prob)
+			}
+		}
+		if m := got.Mass(); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("k=%d: mass drifted to %g", k, m)
+		}
+	})
+}

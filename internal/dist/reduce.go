@@ -59,8 +59,38 @@ func siftDownFunc[T any](h []T, root int, less func(a, b T) bool) {
 //
 // An empty ds yields Degenerate(0), the neutral element of convolution.
 //
+// # Monoid structure
+//
+// Distributions form a commutative monoid under convolution, and the
+// reduction exploits it three ways. First, the inputs are reordered
+// canonically (by content, not position), so the result is invariant
+// under any permutation of ds. Second, equal and shift-equivalent
+// inputs — the common shape of per-set penalty distributions, one
+// distribution per fault profile replicated across sets — are detected
+// up front by content comparison and shift normalization, and the merge
+// tree is hash-consed: every node is keyed by its (class, class)
+// children, so each distinct subtree convolves once and k equal inputs
+// cost O(log k) convolutions (the shared balanced subtrees ARE the
+// exponentiation-by-squaring of Pow), with one final Shift restoring
+// the accumulated offsets. Shifting commutes bitwise with convolution
+// on every path (identical accumulation orders, identical products), so
+// the sharing cannot change a single bit of the result.
+//
+// Third, when the exact final support provably dwarfs maxSupport, an
+// exceedance-area budget is spread over the merge tree and big operands
+// are pre-coarsened toward maxSupport/4 before convolving (in-tree
+// coarsening, CoarsenLeastError only), keeping intermediate pair counts
+// — and with them the whole reduction — bounded instead of ballooning
+// to maxSupport² per node. See convolveAllOpt for the budget split and
+// the exactness conditions.
+//
 // ConvolveAll coarsens with the default CoarsenLeastError strategy;
-// ConvolveAllWith selects the strategy explicitly.
+// ConvolveAllWith selects the strategy explicitly. ConvolveAllExact and
+// ConvolveAllExactWith are the retained reference reduction — same
+// canonical order and merge plan, no sharing, no in-tree coarsening —
+// byte-identical to the optimized path whenever no coarsening binds
+// (core.Options.ExactConvolve routes the pipeline through it for
+// differential validation).
 func ConvolveAll(ds []*Dist, maxSupport, workers int) *Dist {
 	return ConvolveAllWith(ds, maxSupport, workers, CoarsenLeastError)
 }
@@ -142,8 +172,31 @@ func buildMergePlan(ds []*Dist, maxSupport int) []mergeStep {
 // applied to every over-cap partial product (and the final result).
 // The strategy never changes which pairs convolve — the schedule is
 // keyed on maxSupport and the input sizes only — so the same
-// worker-count independence holds for every strategy.
+// worker-count independence holds for every strategy. In-tree budget
+// coarsening only ever runs under CoarsenLeastError; the legacy
+// CoarsenKeepHeaviest reduction stays final-coarsen-only.
 func ConvolveAllWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy) *Dist {
+	d, _ := convolveAllOpt(ds, maxSupport, workers, strategy)
+	return d
+}
+
+// ConvolveAllExact is ConvolveAllExactWith with the default
+// CoarsenLeastError strategy.
+func ConvolveAllExact(ds []*Dist, maxSupport, workers int) *Dist {
+	return ConvolveAllExactWith(ds, maxSupport, workers, CoarsenLeastError)
+}
+
+// ConvolveAllExactWith is the retained reference reduction: the same
+// canonical input order and Huffman merge plan as ConvolveAllWith, but
+// every internal node is computed independently from its two children —
+// no shift-class sharing, no in-tree budget coarsening — exactly the
+// pre-monoid tree. When no coarsening binds anywhere it is
+// byte-identical to ConvolveAllWith (the differential suite pins this);
+// when the cap binds, both remain sound upper bounds that differ only
+// by the documented in-tree area budget. It exists to validate the
+// optimized path and costs O(len(ds)) convolutions regardless of input
+// structure.
+func ConvolveAllExactWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy) *Dist {
 	if len(ds) == 0 {
 		return Degenerate(0)
 	}
@@ -154,9 +207,10 @@ func ConvolveAllWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrate
 		return ds[0].CoarsenToWith(maxSupport, strategy)
 	}
 	n := len(ds)
-	plan := buildMergePlan(ds, maxSupport)
+	sorted := canonicalSort(ds)
+	plan := buildMergePlan(sorted, maxSupport)
 	results := make([]*Dist, 2*n-1)
-	copy(results, ds)
+	copy(results, sorted)
 
 	if workers <= 1 {
 		// The plan lists nodes in dependency order (children always

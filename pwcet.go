@@ -57,6 +57,15 @@
 // scheduling nor pool size nor query interleaving can influence any
 // FMM entry, distribution atom, or pWCET. Parallelism changes
 // wall-clock time, never results.
+//
+// The optimized hot paths keep differential escape hatches:
+// Options.Reference re-runs an analysis on the retained dense
+// simplex and map-based abstract domain, and Options.ExactConvolve
+// routes the penalty reduction through the exact convolution fold
+// (no shared-subtree reuse, no in-tree coarsening) — both exist to
+// validate the fast paths, which the differential suites pin
+// byte-identical (exactly, or whenever the support cap does not
+// bind, respectively).
 package pwcet
 
 import (
@@ -186,7 +195,11 @@ func NewEngine(p *Program, opt EngineOptions) (*Engine, error) {
 // It is a thin wrapper over a throwaway Engine; callers analyzing the
 // same program more than once should hold an Engine instead.
 func Analyze(p *Program, opt Options) (*Result, error) {
-	e, err := core.NewEngine(p, EngineOptions{Workers: opt.Workers})
+	e, err := core.NewEngine(p, EngineOptions{
+		Workers:       opt.Workers,
+		Reference:     opt.Reference,
+		ExactConvolve: opt.ExactConvolve,
+	})
 	if err != nil {
 		return nil, err
 	}
