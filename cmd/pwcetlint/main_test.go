@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"mapiterdet", "floataccum", "exhaustenum", "refpurity"} {
+		if !strings.Contains(out.String(), name+":") {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRepoExitsZero is the command-level half of the CI gate: the module
+// currently carries no findings, so the exit status must be 0 and both
+// streams stay quiet.
+func TestRepoExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d on a clean repo\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("diagnostics printed on a clean repo: %s", out.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./does/not/exist"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d for an unresolvable pattern, want 2", code)
+	}
+}

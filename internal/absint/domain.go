@@ -58,6 +58,7 @@ func (y *youngerSet) union(o *youngerSet, assoc int) {
 		y.blocks = nil
 		return
 	}
+	//pwcetlint:ordered add() only inserts into a set and saturates at a size threshold; final content and sat flag are order-independent
 	for b := range o.blocks {
 		y.add(b, assoc)
 	}
@@ -73,6 +74,7 @@ func (y *youngerSet) equal(o *youngerSet) bool {
 	if len(y.blocks) != len(o.blocks) {
 		return false
 	}
+	//pwcetlint:ordered membership test with early return false; the boolean result is the same whichever mismatch is seen first
 	for b := range y.blocks {
 		if _, ok := o.blocks[b]; !ok {
 			return false
@@ -111,6 +113,7 @@ func (s *setState) clone() *setState {
 	for b, a := range s.may {
 		c.may[b] = a
 	}
+	//pwcetlint:ordered keyed copy into a fresh map; clone() has no observable effect beyond its result
 	for b, y := range s.pers {
 		c.pers[b] = y.clone()
 	}
@@ -122,16 +125,19 @@ func (s *setState) equal(o *setState) bool {
 		len(s.may) != len(o.may) || len(s.pers) != len(o.pers) {
 		return false
 	}
+	//pwcetlint:ordered per-key equality with early return false; the boolean result is the same whichever mismatch is seen first
 	for b, a := range s.must {
 		if oa, ok := o.must[b]; !ok || oa != a {
 			return false
 		}
 	}
+	//pwcetlint:ordered per-key equality with early return false; the boolean result is the same whichever mismatch is seen first
 	for b, a := range s.may {
 		if oa, ok := o.may[b]; !ok || oa != a {
 			return false
 		}
 	}
+	//pwcetlint:ordered per-key equality with early return false; equal() is read-only, so the result is order-independent
 	for b, y := range s.pers {
 		oy, ok := o.pers[b]
 		if !ok || !y.equal(oy) {
@@ -162,11 +168,13 @@ func (s *setState) join(o *setState, assoc int) {
 			s.must[b] = oa
 		}
 	}
+	//pwcetlint:ordered per-key min over disjoint keys; each iteration reads and writes only s.may[b] for its own b
 	for b, oa := range o.may {
 		if a, ok := s.may[b]; !ok || oa < a {
 			s.may[b] = oa
 		}
 	}
+	//pwcetlint:ordered per-key set union over disjoint keys; union/clone touch only the entry for this b
 	for b, oy := range o.pers {
 		if y, ok := s.pers[b]; ok {
 			y.union(oy, assoc)
@@ -221,6 +229,7 @@ func (s *setState) access(m uint32, assoc int) {
 
 	// Persistence update: every other block may now have one more
 	// distinct block above it; m's own younger set resets.
+	//pwcetlint:ordered inserts the same single block m into each entry's younger set; per-key independent
 	for b, y := range s.pers {
 		if b == m {
 			continue

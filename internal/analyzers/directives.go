@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the comment prefix of a suppression directive.
+// Like //go: directives, no space may follow the slashes.
+const directivePrefix = "//pwcetlint:"
+
+// orderedAlias is the directive name covering both order-sensitivity
+// analyzers: //pwcetlint:ordered suppresses mapiterdet and floataccum.
+const orderedAlias = "ordered"
+
+// directiveNames are the accepted NAMEs of //pwcetlint:NAME.
+var directiveNames = map[string]bool{
+	orderedAlias:  true,
+	"mapiterdet":  true,
+	"floataccum":  true,
+	"exhaustenum": true,
+	"refpurity":   true,
+}
+
+// A directive is one parsed //pwcetlint:NAME comment.
+type directive struct {
+	name          string
+	justification string
+	pos           token.Position
+	known         bool
+	used          bool
+}
+
+// covers names the analyzers a directive suppresses, for the unused-
+// directive message.
+func (d *directive) covers() string {
+	if d.name == orderedAlias {
+		return "mapiterdet/floataccum"
+	}
+	return d.name
+}
+
+// suppresses reports whether the directive applies to a diagnostic of
+// the named analyzer at the given position: same file, and the
+// directive sits on the flagged line or the line immediately above.
+func (d *directive) suppresses(analyzer string, pos token.Position) bool {
+	if d.name != analyzer && !(d.name == orderedAlias && (analyzer == "mapiterdet" || analyzer == "floataccum")) {
+		return false
+	}
+	if d.pos.Filename != pos.Filename {
+		return false
+	}
+	return d.pos.Line == pos.Line || d.pos.Line == pos.Line-1
+}
+
+// collectDirectives parses every //pwcetlint: comment of the files.
+// A directive with a misspelled NAME suppresses nothing; it is kept
+// (known=false) so the driver can report it instead of letting the typo
+// silently disable a reviewed suppression.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				name, just, _ := strings.Cut(rest, " ")
+				out = append(out, &directive{
+					name:          name,
+					justification: strings.TrimSpace(just),
+					pos:           fset.Position(c.Pos()),
+					known:         directiveNames[name],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives drops the diagnostics covered by a directive with a
+// justification, marking those directives used. Directives lacking a
+// justification never suppress (the framework reports them instead), so
+// an unjustified annotation cannot hide a finding.
+func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	var kept []Diagnostic
+	for _, dg := range diags {
+		suppressed := false
+		for _, d := range dirs {
+			if d.known && d.justification != "" && d.suppresses(dg.Analyzer, dg.Position) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,185 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustEnum returns the exhaustenum analyzer for enums declared in
+// packages whose import path starts with modulePrefix. An enum is a
+// defined integer type with at least two package-level constants of
+// that exact type whose values are contiguous from 0 — the shape of the
+// repo's iota blocks (cache.Mechanism, dist.CoarsenStrategy, lp.Op,
+// chmc.Class, the classification kinds). A switch over an enum value
+// must either cover every member or carry a default that panics (or
+// otherwise terminates: log.Fatal, os.Exit): a silent default turns the
+// addition of an enum member into wrong results instead of a loud stop,
+// which for a soundness-critical pipeline is the worse failure mode.
+func ExhaustEnum(modulePrefix string) *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustenum",
+		Doc:  "switches over module-defined int enums (iota blocks) must be exhaustive or carry a panicking default",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, sw, modulePrefix)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt, modulePrefix string) {
+	t := pass.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	defPath := obj.Pkg().Path()
+	if defPath != modulePrefix && !strings.HasPrefix(defPath, modulePrefix+"/") {
+		return
+	}
+	members := enumMembers(obj.Pkg(), named)
+	if len(members) < 2 || !contiguousFromZero(members) {
+		return
+	}
+
+	covered := map[int64]bool{}
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return // non-constant case: coverage unknowable, stay silent
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				return
+			}
+			covered[v] = true
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.value] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if deflt != nil && terminates(pass, deflt.Body) {
+		return
+	}
+	enumName := obj.Name()
+	if obj.Pkg().Path() != pass.Pkg.Path() {
+		enumName = obj.Pkg().Name() + "." + obj.Name()
+	}
+	if deflt == nil {
+		pass.Reportf(sw.Switch,
+			"switch over %s is not exhaustive (missing %s) and has no default; cover every member or add a panicking default",
+			enumName, strings.Join(missing, ", "))
+	} else {
+		pass.Reportf(sw.Switch,
+			"switch over %s is not exhaustive (missing %s) and its default does not panic; a silent default hides new enum members",
+			enumName, strings.Join(missing, ", "))
+	}
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+// enumMembers collects the package-level constants of exactly type t,
+// deduplicated by value (aliases count once), sorted by value.
+func enumMembers(pkg *types.Package, t *types.Named) []enumMember {
+	byValue := map[int64]string{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		if prev, dup := byValue[v]; !dup || name < prev {
+			byValue[v] = name
+		}
+	}
+	members := make([]enumMember, 0, len(byValue))
+	for v, name := range byValue {
+		members = append(members, enumMember{name: name, value: v})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].value < members[j].value })
+	return members
+}
+
+func contiguousFromZero(ms []enumMember) bool {
+	for i, m := range ms {
+		if m.value != int64(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// terminates reports whether the default clause's body always stops the
+// program on the paths it handles: it contains a panic, log.Fatal*,
+// os.Exit or t.Fatal* call (directly or inside nested blocks).
+func terminates(pass *Pass, body []ast.Stmt) bool {
+	found := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if b, isB := pass.Info.Uses[fun].(*types.Builtin); isB && b.Name() == "panic" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if strings.HasPrefix(name, "Fatal") || name == "Exit" || name == "Panic" || strings.HasPrefix(name, "Panic") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

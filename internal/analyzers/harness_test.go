@@ -1,0 +1,146 @@
+package analyzers
+
+// The corpus harness mirrors golang.org/x/tools/go/analysis/analysistest:
+// each directory under testdata/src is one package of golden Go files,
+// and every expected diagnostic is declared in-source with a comment
+//
+//	// want `regexp`
+//
+// (double-quoted strings work too; several patterns may follow one
+// want). A want matches a diagnostic on its own line whose message
+// matches the pattern. The harness fails on both sides of a mismatch:
+// an unmatched want AND an undeclared diagnostic — so the negative
+// (false-positive-shaped) cases in the corpora are enforced, not just
+// the positives.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type wantExpectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// runCorpus loads testdata/src/<dir> as package pkgPath, runs the given
+// analyzers through the full driver (directive resolution included) and
+// checks the diagnostics against the corpus's want comments.
+func runCorpus(t *testing.T, dir, pkgPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg, err := LoadTestdata(filepath.Join("testdata", "src", dir), pkgPath)
+	if err != nil {
+		t.Fatalf("load corpus %s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run on corpus %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != filepath.Base(d.Position.Filename) || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("undeclared diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants extracts the want expectations from every comment of the
+// corpus package. Both line and block comments are scanned, so a want
+// can share a line with a //pwcetlint: directive via /* want ... */.
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case strings.HasPrefix(text, "//"):
+					text = text[2:]
+				case strings.HasPrefix(text, "/*"):
+					text = strings.TrimSuffix(text[2:], "*/")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &wantExpectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						raw:  p,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns splits a want payload into its quoted patterns:
+// a sequence of backquoted or double-quoted Go strings.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment without patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,Incomplete,Error"
+
+// Load resolves the package patterns (as `go list` would, in dir) and
+// type-checks each matched package from source. Imports — standard
+// library and intra-module alike — are satisfied from compiler export
+// data produced by `go list -export`, so loading works offline and
+// needs nothing beyond the Go toolchain. Test files are not loaded: the
+// determinism contract is about what ships, and the site count stays
+// reviewable.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, err := goList(dir, append([]string{"list", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, p := range roots {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadTestdata type-checks a single directory of Go files as package
+// `path` — the analyzer test corpora under testdata/src. Imports are
+// resolved like Load's, via export data listed from the enclosing
+// module (the testdata packages import at most the standard library).
+func LoadTestdata(dir, path string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, m := range matches {
+		f, err := parser.ParseFile(fset, m, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[spec.Path.Value[1:len(spec.Path.Value)-1]] = true
+		}
+	}
+	args := []string{"list", "-e", "-export", "-deps", listFields}
+	for p := range importSet {
+		args = append(args, p)
+	}
+	sort.Strings(args[5:]) // deterministic go list invocation
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		deps, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range deps {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Name: tpkg.Name(), Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", path)
+	}
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Name: tpkg.Name(), Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ErrFindings is returned by Main when diagnostics were reported.
+var ErrFindings = errors.New("pwcetlint: findings reported")

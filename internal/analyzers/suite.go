@@ -1,0 +1,14 @@
+package analyzers
+
+// All returns the production-configured analyzer suite pwcetlint runs
+// over the repository: mapiterdet on the determinism-critical packages,
+// floataccum and refpurity everywhere, exhaustenum for enums defined in
+// this module.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIterDet(DefaultCriticalPackages),
+		FloatAccum(),
+		ExhaustEnum("repro"),
+		RefPurity(DefaultRefPurityRules),
+	}
+}

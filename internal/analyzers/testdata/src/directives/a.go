@@ -1,0 +1,23 @@
+// Corpus for the directive hygiene rules of the driver itself: unknown
+// names, missing justifications and unused directives are all reported
+// under the pseudo-analyzer "pwcetlint". The wants ride in block
+// comments so they can share a line with the directive under test.
+package directives
+
+/* want `unknown directive //pwcetlint:bogus` */ //pwcetlint:bogus well-meant but misspelled
+func unknownName()                               {}
+
+/* want `directive needs a one-line justification` */ //pwcetlint:mapiterdet
+func missingJustification()                           {}
+
+/* want `unused suppression directive //pwcetlint:refpurity` */ //pwcetlint:refpurity nothing here to suppress
+func unusedDirective()                                          {}
+
+/* want `unused suppression directive //pwcetlint:ordered` */ //pwcetlint:ordered this loop is provable, so the directive is stale
+func staleOnProvableLoop(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+// Corpus for the exhaustenum analyzer: switches over module-defined
+// iota enums must be exhaustive or carry a terminating default.
+package exhaustenum
+
+// Color is an enum in the analyzer's sense: a defined integer type with
+// >= 2 same-typed package constants contiguous from 0.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// exhaustive: every member covered — not flagged.
+func exhaustive(c Color) string {
+	switch c {
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	case Blue:
+		return "b"
+	}
+	return ""
+}
+
+// panickingDefault: members missing, but the default terminates — not
+// flagged.
+func panickingDefault(c Color) string {
+	switch c {
+	case Red:
+		return "r"
+	default:
+		panic("unhandled color")
+	}
+}
+
+// missingNoDefault: Blue missing and nothing catches it — flagged.
+func missingNoDefault(c Color) string {
+	switch c { // want `switch over Color is not exhaustive \(missing Blue\) and has no default`
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	}
+	return ""
+}
+
+// silentDefault: the default swallows future members — flagged.
+func silentDefault(c Color) int {
+	switch c { // want `switch over Color is not exhaustive \(missing Green, Blue\) and its default does not panic`
+	case Red:
+		return 0
+	default:
+		return 9
+	}
+}
+
+// multiValueCase: members may share a clause — not flagged.
+func multiValueCase(c Color) bool {
+	switch c {
+	case Red, Green, Blue:
+		return true
+	}
+	return false
+}
+
+// Lone has a single constant: not an enum, switches over it are free.
+type Lone int
+
+const Only Lone = 0
+
+func notAnEnum(l Lone) {
+	switch l {
+	case Only:
+	}
+}
+
+// Flags is non-contiguous (bitmask values): not an iota enum, so
+// non-exhaustive switches over it are fine.
+type Flags int
+
+const (
+	F1 Flags = 1
+	F2 Flags = 2
+	F4 Flags = 4
+)
+
+func bitmask(f Flags) bool {
+	switch f {
+	case F1:
+		return true
+	}
+	return false
+}
+
+// nonConstantCase: coverage is unknowable — the analyzer stays silent.
+func nonConstantCase(c Color, dynamic Color) bool {
+	switch c {
+	case dynamic:
+		return true
+	}
+	return false
+}
+
+// suppressed: a justified directive on the line above the switch.
+func suppressed(c Color) string {
+	//pwcetlint:exhaustenum corpus example of a reviewed partial switch
+	switch c {
+	case Red:
+		return "r"
+	}
+	return ""
+}

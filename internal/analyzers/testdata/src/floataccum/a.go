@@ -1,0 +1,99 @@
+// Corpus for the floataccum analyzer: float compound accumulation is
+// flagged when the accumulation order derives from a map iteration or
+// from goroutine interleaving, and only then.
+package floataccum
+
+import "sync"
+
+// mapAccum: the classic nondeterministic float sum — flagged.
+func mapAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total.*map iteration`
+	}
+	return total
+}
+
+// mapProduct: *= is just as order-sensitive as += — flagged.
+func mapProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point accumulation into p.*map iteration`
+	}
+	return p
+}
+
+// sliceAccum: slice iteration order is deterministic — not flagged.
+func sliceAccum(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// intAccum: integer accumulation in a map loop is exact — floataccum
+// stays silent (mapiterdet owns that loop, and proves it).
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localPartial: the accumulator lives inside the loop body, one partial
+// per key — not flagged.
+func localPartial(m map[string][]float64, out map[string]float64) {
+	for k, xs := range m {
+		partial := 0.0
+		for _, x := range xs {
+			partial += x
+		}
+		out[k] = partial
+	}
+}
+
+// goAccum: a shared accumulator updated inside a go literal — flagged
+// (interleaving order, on top of the data race).
+func goAccum(xs []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += xs[i] // want `floating-point accumulation into total.*goroutine interleaving`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// goLocal: per-goroutine partials written to distinct slots — the
+// accumulator is declared inside the literal, not flagged.
+func goLocal(parts [][]float64, sums []float64) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := 0.0
+			for _, x := range parts[i] {
+				s += x
+			}
+			sums[i] = s
+		}()
+	}
+	wg.Wait()
+}
+
+// suppressed: the ordered alias covers floataccum too.
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//pwcetlint:ordered corpus example of a reviewed order-tolerant sum
+		total += v
+	}
+	return total
+}

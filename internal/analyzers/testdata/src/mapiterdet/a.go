@@ -1,0 +1,137 @@
+// Corpus for the mapiterdet analyzer: the package path is configured as
+// determinism-critical by the test, so every map range here must be
+// proven order-insensitive, suppressed, or flagged.
+package mapiterdet
+
+import "sort"
+
+// keysSorted is the canonical collect-then-sort: proven, not flagged.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type holder struct {
+	ids []int
+}
+
+// collectSelector: collect-then-sort through a selector target — the
+// false-positive shape fixed for program/build.go's loop bodies.
+func (h *holder) collectSelector(set map[int]bool) {
+	for id := range set {
+		h.ids = append(h.ids, id)
+	}
+	sort.Ints(h.ids)
+}
+
+// keysUnsorted collects without a later sort: flagged.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sumInts: exact commutative scalar accumulation — proven.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sumFloats: float accumulation is never order-exact — flagged.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// histogram: indexed exact increment commutes even on colliding keys.
+func histogram(m map[string]int) map[int]int {
+	hist := make(map[int]int)
+	for _, v := range m {
+		hist[v]++
+	}
+	return hist
+}
+
+// copyKeyed: plain store indexed by exactly the iteration key — distinct
+// iterations write distinct entries. Proven, including the comma-ok read
+// and the conversion on the right-hand side.
+func copyKeyed(m map[string]int, keep map[string]bool) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		if ok := keep[k]; ok {
+			out[k] = int64(v)
+		}
+	}
+	return out
+}
+
+// invert stores keyed by the VALUE variable: two keys with equal values
+// collide and last-writer-wins depends on iteration order. Flagged —
+// this is the rev[v] = k false negative the exact-key rule exists for.
+func invert(m map[string]int) map[int]string {
+	rev := make(map[int]string, len(m))
+	for k, v := range m { // want `iteration over map m has nondeterministic order`
+		rev[v] = k
+	}
+	return rev
+}
+
+// cappedInsert reads len(out) while writing out: which five entries
+// survive depends on iteration order. Flagged — the written-variable
+// rule exists for this cap-limited-insertion shape.
+func cappedInsert(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range m { // want `iteration over map m has nondeterministic order`
+		if len(out) < 5 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// pruneByKey deletes by exactly the iteration key: proven.
+func pruneByKey(m map[string]int, drop map[string]bool) {
+	for k := range drop {
+		delete(m, k)
+	}
+}
+
+// pruneByValue deletes by the value variable, which can collide with a
+// keyed write of another iteration. Flagged.
+func pruneByValue(index map[string]string, m map[string]int) {
+	for _, v := range index { // want `iteration over map index has nondeterministic order`
+		delete(index, v)
+	}
+	_ = m
+}
+
+// maxConst: constant store commutes (same bits every iteration).
+func maxConst(m map[string]int) bool {
+	any := false
+	for range m {
+		any = true
+	}
+	return any
+}
+
+// suppressed: unprovable (method call in body) but carries a reviewed
+// justification, so no finding survives — and the directive counts as
+// used, so no unused-directive report either.
+func suppressed(m map[string]*holder, set map[int]bool) {
+	//pwcetlint:ordered collectSelector sorts its output, so per-entry call order is invisible
+	for _, h := range m {
+		h.collectSelector(set)
+	}
+}

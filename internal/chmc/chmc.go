@@ -14,6 +14,8 @@
 // exactly like AlwaysMiss by the timing model.
 package chmc
 
+import "fmt"
+
 // Class is a cache hit/miss classification.
 type Class int8
 
@@ -59,7 +61,9 @@ func (c Class) rank() int {
 		return 0
 	case FirstMiss:
 		return 1
-	default:
+	case AlwaysMiss, NotClassified:
 		return 2
+	default:
+		panic(fmt.Sprintf("chmc: rank of invalid Class %d", int(c)))
 	}
 }

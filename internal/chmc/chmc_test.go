@@ -37,3 +37,15 @@ func TestWorseThanOrdering(t *testing.T) {
 		t.Error("NC and AM must be mutually WorseThan (same cost rank)")
 	}
 }
+
+// TestRankPanicsOnInvalidClass: an out-of-range Class must stop the
+// pipeline loudly instead of silently ranking as AM/NC (which would
+// corrupt monotonicity checks for any future enum member).
+func TestRankPanicsOnInvalidClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WorseThan on an invalid Class did not panic")
+		}
+	}()
+	_ = Class(42).WorseThan(AlwaysHit)
+}

@@ -1,0 +1,8 @@
+//go:build !pwcetcheck
+
+package dist
+
+// checkEnabled gates the pwcetcheck sanitizer assertions (see check.go).
+// This is the default build: the constant false lets the compiler drop
+// every `if checkEnabled { ... }` block entirely.
+const checkEnabled = false

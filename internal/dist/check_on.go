@@ -1,0 +1,9 @@
+//go:build pwcetcheck
+
+package dist
+
+// checkEnabled gates the pwcetcheck sanitizer assertions (see check.go).
+// Build or test with -tags pwcetcheck to turn every Dist construction
+// into an invariant check; without the tag the guard is a compile-time
+// false and the checks cost nothing.
+const checkEnabled = true

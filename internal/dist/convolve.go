@@ -42,6 +42,10 @@ const maxDenseSpan = 1 << 22
 // overflow int64 — like Shift, silently wrapping would corrupt the
 // value domain and with it the soundness contract.
 func (d *Dist) Convolve(o *Dist) *Dist {
+	if checkEnabled {
+		d.check("Convolve operand")
+		o.check("Convolve operand")
+	}
 	n, m := len(d.values), len(o.values)
 	checkSumOverflow(d.values[0], o.values[0])
 	checkSumOverflow(d.values[n-1], o.values[m-1])

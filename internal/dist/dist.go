@@ -150,7 +150,11 @@ func fromSorted(values []int64, probs []float64) *Dist {
 		ccdf[i] = tail
 		tail += probs[i]
 	}
-	return &Dist{values: values, probs: probs, ccdf: ccdf}
+	d := &Dist{values: values, probs: probs, ccdf: ccdf}
+	if checkEnabled {
+		d.check("fromSorted")
+	}
+	return d
 }
 
 // Len returns the number of support points.
@@ -268,7 +272,11 @@ func (d *Dist) Shift(delta int64) *Dist {
 	for i, v := range d.values {
 		values[i] = v + delta
 	}
-	return &Dist{values: values, probs: d.probs, ccdf: d.ccdf}
+	out := &Dist{values: values, probs: d.probs, ccdf: d.ccdf}
+	if checkEnabled {
+		out.check("Shift")
+	}
+	return out
 }
 
 // Add is the sum of two independent random variables — an alias for

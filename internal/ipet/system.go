@@ -168,10 +168,14 @@ func (s *System) MaximizeBlockWeights(weights []float64, constant float64) (*Res
 		return nil, err
 	}
 	switch sol.Status {
+	case lp.Optimal:
+		// fall through to the integrality check below
 	case lp.Infeasible:
 		return nil, fmt.Errorf("ipet: infeasible system for program %s", s.p.Name)
 	case lp.Unbounded:
 		return nil, fmt.Errorf("ipet: unbounded objective for program %s (missing loop bound?)", s.p.Name)
+	default:
+		panic(fmt.Sprintf("ipet: unknown LP status %v", sol.Status))
 	}
 
 	integral := lp.IsIntegral(sol.X)

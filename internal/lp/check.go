@@ -1,0 +1,102 @@
+package lp
+
+import "fmt"
+
+// check asserts the tableau invariants of a Simplex and panics with the
+// violation when one fails. It runs after every pivot, compaction and
+// CopyFrom under `if checkEnabled` — the pwcetcheck build tag (see
+// check_on.go); in a default build the guard is constant-false and this
+// function is never reached. Everything here is O(rows), so even the
+// per-pivot call does not change the solver's asymptotics under the tag.
+//
+// Invariants checked:
+//
+//   - shape: rhs, basis and active are parallel to rows, every row is
+//     ncols wide;
+//   - basis consistency: each active row's basic column is in range,
+//     distinct from every other active row's, and carries the exact unit
+//     coefficient 1 in its own row (pivot sets it explicitly). Enforced
+//     only while the tableau is live (feasible and not truncated): an
+//     infeasible or budget-truncated phase 1 legitimately leaves basic
+//     artificials behind, and every Maximize short-circuits before
+//     touching them;
+//   - compaction: once backing exists, every row aliases its backing
+//     segment (a row that escaped the contiguous storage would silently
+//     stop being restored by the backing fast path of CopyFrom) and the
+//     artificial columns are gone (ncols == artStart);
+//   - dirty bookkeeping: dirtyRows lists exactly the rows flagged in
+//     dirty, without duplicates — a flagged row missing from the list
+//     would survive a dirty-rows CopyFrom with stale contents.
+func (s *Simplex) check(where string) {
+	m := len(s.rows)
+	if len(s.rhs) != m || len(s.basis) != m || len(s.active) != m {
+		panic(fmt.Sprintf("pwcetcheck: %s: parallel slices disagree: %d rows, %d rhs, %d basis, %d active",
+			where, m, len(s.rhs), len(s.basis), len(s.active)))
+	}
+	live := s.feasible && !s.truncated
+	basicAt := make(map[int]int, m)
+	for i, row := range s.rows {
+		if len(row) != s.ncols {
+			panic(fmt.Sprintf("pwcetcheck: %s: row %d has %d columns, want %d", where, i, len(row), s.ncols))
+		}
+		if !live || !s.active[i] {
+			continue
+		}
+		b := s.basis[i]
+		if b < 0 || b >= s.ncols {
+			panic(fmt.Sprintf("pwcetcheck: %s: active row %d has basis column %d outside [0,%d)", where, i, b, s.ncols))
+		}
+		if prev, dup := basicAt[b]; dup {
+			panic(fmt.Sprintf("pwcetcheck: %s: column %d is basic in rows %d and %d", where, b, prev, i))
+		}
+		basicAt[b] = i
+		if row[b] != 1 {
+			panic(fmt.Sprintf("pwcetcheck: %s: active row %d has coefficient %g at its basic column %d, want exactly 1",
+				where, i, row[b], b))
+		}
+	}
+	if s.backing != nil {
+		if s.ncols != s.artStart {
+			panic(fmt.Sprintf("pwcetcheck: %s: compacted tableau still has artificial columns (ncols %d != artStart %d)",
+				where, s.ncols, s.artStart))
+		}
+		w := s.ncols
+		if len(s.backing) != m*w {
+			panic(fmt.Sprintf("pwcetcheck: %s: backing holds %d cells, want %d rows x %d cols", where, len(s.backing), m, w))
+		}
+		for i, row := range s.rows {
+			if w == 0 {
+				break
+			}
+			if &row[0] != &s.backing[i*w] {
+				panic(fmt.Sprintf("pwcetcheck: %s: row %d does not alias its backing segment; CopyFrom's backing fast path would skip it",
+					where, i))
+			}
+		}
+	}
+	if s.dirty != nil {
+		if len(s.dirty) != m {
+			panic(fmt.Sprintf("pwcetcheck: %s: dirty tracks %d rows, want %d", where, len(s.dirty), m))
+		}
+		seen := make([]bool, m)
+		for _, i := range s.dirtyRows {
+			if i < 0 || i >= m || !s.dirty[i] {
+				panic(fmt.Sprintf("pwcetcheck: %s: dirtyRows lists row %d which is not flagged dirty", where, i))
+			}
+			if seen[i] {
+				panic(fmt.Sprintf("pwcetcheck: %s: dirtyRows lists row %d twice", where, i))
+			}
+			seen[i] = true
+		}
+		flagged := 0
+		for _, d := range s.dirty {
+			if d {
+				flagged++
+			}
+		}
+		if flagged != len(s.dirtyRows) {
+			panic(fmt.Sprintf("pwcetcheck: %s: %d rows flagged dirty but dirtyRows lists %d; a flagged row would be restored stale",
+				where, flagged, len(s.dirtyRows)))
+		}
+	}
+}

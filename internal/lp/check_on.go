@@ -1,0 +1,9 @@
+//go:build pwcetcheck
+
+package lp
+
+// checkEnabled gates the pwcetcheck sanitizer assertions (see check.go).
+// Build or test with -tags pwcetcheck to verify the tableau invariants
+// after every pivot, compaction and restore; without the tag the guard
+// is a compile-time false and the checks cost nothing.
+const checkEnabled = true

@@ -1,0 +1,58 @@
+package lp
+
+import "testing"
+
+// TestPwcetcheckCatchesCorruptBasis: under -tags pwcetcheck, a tableau
+// whose basis bookkeeping was corrupted (two rows claiming the same
+// basic column) must panic at the next pivot instead of silently
+// solving from an inconsistent basis. Without the tag the test is
+// skipped — the checks are compiled out there.
+func TestPwcetcheckCatchesCorruptBasis(t *testing.T) {
+	if !checkEnabled {
+		t.Skip("pwcetcheck tag not enabled; sanitizer assertions are compiled out")
+	}
+	// Two constraints so the tableau has two slack rows; an objective on
+	// x0 forces at least one pivot, which runs the check.
+	s, err := NewSimplex(2, []Constraint{
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 5},
+		{Coefs: []Coef{{1, 1}}, Op: LE, RHS: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.basis[1] = s.basis[0] // corrupt: duplicate basic column
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Maximize on a corrupted basis did not panic under pwcetcheck")
+		}
+	}()
+	_, _ = s.Maximize([]float64{1, 1})
+}
+
+// TestPwcetcheckCatchesCorruptDirtyRows: a row flagged dirty but missing
+// from dirtyRows would be restored stale by the dirty-rows CopyFrom fast
+// path; the sanitizer must catch the inconsistency at the restore.
+func TestPwcetcheckCatchesCorruptDirtyRows(t *testing.T) {
+	if !checkEnabled {
+		t.Skip("pwcetcheck tag not enabled; sanitizer assertions are compiled out")
+	}
+	src, err := NewSimplex(2, []Constraint{
+		{Coefs: []Coef{{0, 1}}, Op: LE, RHS: 5},
+		{Coefs: []Coef{{1, 1}}, Op: LE, RHS: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := src.Clone()
+	if _, err := w.Maximize([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.dirty[0] = true
+	w.dirtyRows = nil // corrupt: flagged row no longer listed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with corrupted dirty bookkeeping did not panic under pwcetcheck")
+		}
+	}()
+	_ = w.CopyFrom(src)
+}

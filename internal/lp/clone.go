@@ -74,6 +74,9 @@ func (s *Simplex) CopyFrom(src *Simplex) error {
 		}
 		s.dirtyRows = s.dirtyRows[:0]
 		s.version++
+		if checkEnabled {
+			s.check("CopyFrom dirty-rows")
+		}
 		return nil
 	}
 	if s.backing != nil && src.backing != nil {
@@ -102,5 +105,8 @@ func (s *Simplex) CopyFrom(src *Simplex) error {
 		s.src, s.srcVersion = src, src.version
 	}
 	s.version++
+	if checkEnabled {
+		s.check("CopyFrom full")
+	}
 	return nil
 }

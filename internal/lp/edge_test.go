@@ -179,3 +179,15 @@ func TestLargeCoefficients(t *testing.T) {
 		t.Errorf("obj = %v, want %v", sol.Obj, want)
 	}
 }
+
+// TestFlipPanicsOnInvalidOp: flipping a corrupted Op must panic instead
+// of silently coercing the constraint to equality, which would tighten
+// the feasible region without any error surfacing.
+func TestFlipPanicsOnInvalidOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("flip on an invalid Op did not panic")
+		}
+	}()
+	_ = flip(Op(42))
+}

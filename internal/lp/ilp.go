@@ -52,6 +52,8 @@ func SolveILP(p Problem) (*Solution, error) {
 			return err
 		}
 		switch sol.Status {
+		case Optimal:
+			// fall through to bounding and branching below
 		case Infeasible:
 			return nil
 		case Unbounded:
@@ -63,6 +65,8 @@ func SolveILP(p Problem) (*Solution, error) {
 				return errStop
 			}
 			return nil
+		default:
+			panic(fmt.Sprintf("lp: unknown status %v from relaxation", sol.Status))
 		}
 		if sol.Obj <= best.Obj+IntTol {
 			return nil // pruned

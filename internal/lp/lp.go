@@ -289,8 +289,11 @@ func flip(op Op) Op {
 		return GE
 	case GE:
 		return LE
+	case EQ:
+		return EQ
+	default:
+		panic(fmt.Sprintf("lp: flip of invalid Op %d", int(op)))
 	}
-	return EQ
 }
 
 // phase1 minimizes the sum of artificial variables, then drives
@@ -361,6 +364,9 @@ func (s *Simplex) compact() {
 	s.ncols = w
 	s.barred = nil
 	s.version++
+	if checkEnabled {
+		s.check("compact")
+	}
 }
 
 // reduce zeroes the objective row's entries at basic columns.
@@ -506,6 +512,9 @@ func (s *Simplex) pivot(pi, pj int) {
 	}
 	s.basis[pi] = pj
 	s.version++
+	if checkEnabled {
+		s.check("pivot")
+	}
 }
 
 // markDirty records that row i diverged from the tracked pristine
@@ -538,11 +547,15 @@ func (s *Simplex) Maximize(c []float64) (*Solution, error) {
 	obj := make([]float64, s.ncols)
 	copy(obj, c)
 	s.reduce(obj)
-	switch s.iterate(obj) {
+	switch st := s.iterate(obj); st {
+	case iterOptimal:
+		// fall through to solution extraction below
 	case iterUnbounded:
 		return &Solution{Status: Unbounded}, nil
 	case iterTruncated:
 		return nil, fmt.Errorf("lp: objective over %d rows x %d cols: %w", len(s.rows), s.ncols, ErrPivotLimit)
+	default:
+		panic(fmt.Sprintf("lp: unknown iterate status %d", int(st)))
 	}
 	x := make([]float64, s.n)
 	for i := range s.rows {
