@@ -17,8 +17,10 @@
 //	pwcet -all -workers 8
 //	pwcet -batch sweep.json
 //	pwcet -batch sweep.json -json
+//	pwcet -batch sweep.json -ndjson
 //
-// The -batch specification is JSON:
+// The -batch specification is the shared internal/batchspec JSON
+// format (also accepted verbatim by the pwcetd analysis service):
 //
 //	{
 //	  "benchmarks": ["adpcm", "crc"],          // omitted = whole suite
@@ -28,8 +30,13 @@
 //	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
 //	            "hit_latency": 1, "mem_latency": 100}, // omitted = paper cache
 //	  "max_support": 4096,                     // omitted = default
-//	  "coarsen": "least-error"                 // or "keep-heaviest"; omitted = least-error
+//	  "coarsen": "least-error",                // or "keep-heaviest"; omitted = least-error
+//	  "exact_convolve": false,                 // exact convolution fold (escape hatch)
+//	  "workers": 0                             // 0/omitted = the -workers flag
 //	}
+//
+// -ndjson streams one compact JSON row per line as benchmarks finish —
+// byte-identical to the NDJSON stream pwcetd serves for the same spec.
 //
 // Each benchmark's queries share one engine: the cache fixpoints, the
 // IPET system, the fault-free WCET and the per-set FMM ILP solves are
@@ -47,7 +54,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -60,6 +66,7 @@ import (
 	"text/tabwriter"
 
 	pwcet "repro"
+	"repro/internal/batchspec"
 	"repro/internal/core"
 	"repro/internal/malardalen"
 	"repro/internal/sim"
@@ -79,7 +86,9 @@ type config struct {
 	target     float64
 	coarsen    pwcet.CoarsenStrategy
 	workers    int
+	exact      bool
 	jsonOut    bool
+	ndjson     bool
 	curve      bool
 	fmm        bool
 	classes    bool
@@ -108,7 +117,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	var coarsen string
 	fs.StringVar(&coarsen, "coarsen", "least-error", "support-cap coarsening strategy: least-error or keep-heaviest")
 	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages and batch scheduling (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.exact, "exact-convolve", false, "route the penalty reduction through the exact convolution fold (differential escape hatch)")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON (with -bench or -batch)")
+	fs.BoolVar(&c.ndjson, "ndjson", false, "with -batch: stream one compact JSON row per line (NDJSON)")
 	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve")
 	fs.BoolVar(&c.fmm, "fmm", false, "print the fault miss map")
 	fs.BoolVar(&c.classes, "classes", false, "print the per-reference CHMC summary")
@@ -185,16 +196,25 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		if c.jsonOut && (c.list || c.all) {
 			return nil, usage("-json requires -bench or -batch")
 		}
+		if c.ndjson && c.batch == "" {
+			return nil, usage("-ndjson requires -batch")
+		}
 		if c.batch != "" {
 			// The sweep specification owns these axes; silently dropping
 			// an explicit flag would mislead.
-			for _, name := range []string{"pfail", "target", "mech", "coarsen"} {
+			for _, name := range []string{"pfail", "target", "mech", "coarsen", "exact-convolve"} {
 				if explicit[name] {
 					return nil, usage("-%s cannot be combined with -batch (set it in the spec)", name)
 				}
 			}
+			if c.jsonOut && c.ndjson {
+				return nil, usage("-json and -ndjson are mutually exclusive")
+			}
 		}
 		return c, nil
+	}
+	if c.ndjson {
+		return nil, usage("-ndjson requires -batch")
 	}
 	if _, err := pwcet.Benchmark(c.bench); err != nil {
 		return nil, usage("%v (see -list)", err)
@@ -289,16 +309,17 @@ func dispatch(c *config, stdout, stderr io.Writer) int {
 
 // benchJSON is the machine-readable single-benchmark report.
 type benchJSON struct {
-	Benchmark  string          `json:"benchmark"`
-	Cache      cacheJSON       `json:"cache"`
-	Pfail      float64         `json:"pfail"`
-	PBF        float64         `json:"pbf"`
-	Target     float64         `json:"target"`
-	Coarsen    string          `json:"coarsen"`
-	HitRefs    int             `json:"hit_refs"`
-	FMRefs     int             `json:"fm_refs"`
-	MissRefs   int             `json:"miss_refs"`
-	Mechanisms []mechanismJSON `json:"mechanisms"`
+	Benchmark     string          `json:"benchmark"`
+	Cache         batchspec.Cache `json:"cache"`
+	Pfail         float64         `json:"pfail"`
+	PBF           float64         `json:"pbf"`
+	Target        float64         `json:"target"`
+	Coarsen       string          `json:"coarsen"`
+	ExactConvolve bool            `json:"exact_convolve"`
+	HitRefs       int             `json:"hit_refs"`
+	FMRefs        int             `json:"fm_refs"`
+	MissRefs      int             `json:"miss_refs"`
+	Mechanisms    []mechanismJSON `json:"mechanisms"`
 }
 
 // mechanismJSON is one mechanism's outcome.
@@ -316,26 +337,6 @@ type curvePoint struct {
 	Exceedance float64 `json:"exceedance"`
 }
 
-// cacheJSON mirrors pwcet.CacheConfig with stable JSON names (also the
-// -batch specification's cache object).
-type cacheJSON struct {
-	Sets       int   `json:"sets"`
-	Ways       int   `json:"ways"`
-	BlockBytes int   `json:"block_bytes"`
-	HitLatency int64 `json:"hit_latency"`
-	MemLatency int64 `json:"mem_latency"`
-}
-
-func cacheToJSON(c pwcet.CacheConfig) cacheJSON {
-	return cacheJSON{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
-		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
-}
-
-func (c cacheJSON) config() pwcet.CacheConfig {
-	return pwcet.CacheConfig{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
-		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
-}
-
 // analyzeBench analyzes one benchmark under the selected mechanisms on
 // one shared-work engine.
 func analyzeBench(stdout io.Writer, c *config) error {
@@ -343,7 +344,7 @@ func analyzeBench(stdout io.Writer, c *config) error {
 	if err != nil {
 		return err
 	}
-	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: c.workers})
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: c.workers, ExactConvolve: c.exact})
 	if err != nil {
 		return err
 	}
@@ -429,15 +430,16 @@ func analyzeBench(stdout io.Writer, c *config) error {
 func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*core.Result) error {
 	first := results[c.mechs[0]]
 	rep := benchJSON{
-		Benchmark: c.bench,
-		Cache:     cacheToJSON(first.Options.Cache),
-		Pfail:     c.pfail,
-		PBF:       first.Model.PBF,
-		Target:    c.target,
-		Coarsen:   c.coarsen.String(),
-		HitRefs:   first.HitRefs,
-		FMRefs:    first.FMRefs,
-		MissRefs:  first.MissRefs,
+		Benchmark:     c.bench,
+		Cache:         batchspec.FromConfig(first.Options.Cache),
+		Pfail:         c.pfail,
+		PBF:           first.Model.PBF,
+		Target:        c.target,
+		Coarsen:       c.coarsen.String(),
+		ExactConvolve: c.exact,
+		HitRefs:       first.HitRefs,
+		FMRefs:        first.FMRefs,
+		MissRefs:      first.MissRefs,
 	}
 	for _, m := range c.mechs {
 		r := results[m]
@@ -459,140 +461,59 @@ func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*co
 	return enc.Encode(rep)
 }
 
-// batchSpec is the JSON sweep specification of -batch.
-type batchSpec struct {
-	Benchmarks []string   `json:"benchmarks"`
-	Pfails     []float64  `json:"pfails"`
-	Mechanisms []string   `json:"mechanisms"`
-	Targets    []float64  `json:"targets"`
-	Cache      *cacheJSON `json:"cache"`
-	MaxSupport int        `json:"max_support"`
-	Coarsen    string     `json:"coarsen"`
-
-	// coarsen is the parsed Coarsen field (least-error when omitted).
-	coarsen pwcet.CoarsenStrategy
-}
-
-// batchRow is one sweep point's outcome (also the -json row format).
-type batchRow struct {
-	Benchmark     string  `json:"benchmark"`
-	Pfail         float64 `json:"pfail"`
-	Mechanism     string  `json:"mechanism"`
-	Target        float64 `json:"target"`
-	FaultFreeWCET int64   `json:"fault_free_wcet"`
-	PWCET         int64   `json:"pwcet"`
-}
-
-// loadBatchSpec reads and validates the sweep specification.
-func loadBatchSpec(path string) (*batchSpec, []pwcet.Mechanism, error) {
-	raw, err := os.ReadFile(path)
+// loadBatchSpec reads and validates the sweep specification (the
+// shared internal/batchspec wire format).
+func loadBatchSpec(path string) (*batchspec.Spec, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	spec := &batchSpec{}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(spec); err != nil {
-		return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
+	defer f.Close()
+	spec, err := batchspec.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("batch spec %s: %w", path, err)
 	}
-	if len(spec.Pfails) == 0 {
-		return nil, nil, fmt.Errorf("batch spec %s: pfails must be non-empty", path)
-	}
-	for _, pf := range spec.Pfails {
-		if pf < 0 || pf > 1 || math.IsNaN(pf) {
-			return nil, nil, fmt.Errorf("batch spec %s: pfail %g outside [0,1]", path, pf)
-		}
-	}
-	if len(spec.Targets) == 0 {
-		spec.Targets = []float64{pwcet.DefaultTargetExceedance}
-	}
-	for _, tg := range spec.Targets {
-		if tg <= 0 || tg >= 1 || math.IsNaN(tg) {
-			return nil, nil, fmt.Errorf("batch spec %s: target %g outside (0,1)", path, tg)
-		}
-	}
-	if spec.MaxSupport != 0 && spec.MaxSupport < 2 {
-		return nil, nil, fmt.Errorf("batch spec %s: max_support %d: need at least 2 support points (or 0 for the default)", path, spec.MaxSupport)
-	}
-	if spec.Coarsen != "" {
-		s, err := pwcet.ParseCoarsenStrategy(spec.Coarsen)
-		if err != nil {
-			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
-		}
-		spec.coarsen = s
-	}
-	if len(spec.Benchmarks) == 0 {
-		spec.Benchmarks = pwcet.Benchmarks()
-	}
-	for _, name := range spec.Benchmarks {
-		if _, err := pwcet.Benchmark(name); err != nil {
-			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
-		}
-	}
-	if len(spec.Mechanisms) == 0 {
-		spec.Mechanisms = []string{"none", "rw", "srb"}
-	}
-	mechs := make([]pwcet.Mechanism, len(spec.Mechanisms))
-	for i, s := range spec.Mechanisms {
-		m, err := pwcet.ParseMechanism(s)
-		if err != nil {
-			return nil, nil, fmt.Errorf("batch spec %s: %w", path, err)
-		}
-		mechs[i] = m
-	}
-	return spec, mechs, nil
+	return spec, nil
 }
 
 // runBatch executes the sweep specification: one engine per benchmark,
-// the full (pfail x mechanism x target) grid as one batch each.
+// the full (pfail x mechanism x target) grid as one batch each. With
+// -ndjson rows stream per benchmark as compact JSON lines — the exact
+// bytes pwcetd streams for the same spec.
 func runBatch(stdout io.Writer, c *config) error {
-	spec, mechs, err := loadBatchSpec(c.batch)
+	spec, err := loadBatchSpec(c.batch)
 	if err != nil {
 		return err
 	}
-	var cacheCfg pwcet.CacheConfig
-	if spec.Cache != nil {
-		cacheCfg = spec.Cache.config()
-	}
 
-	var rows []batchRow
+	var rows []batchspec.Row
+	stream := json.NewEncoder(stdout)
 	for _, name := range spec.Benchmarks {
 		p := malardalen.MustGet(name)
-		eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{Workers: c.workers})
+		eng, err := pwcet.NewEngine(p, spec.EngineOptions(c.workers))
 		if err != nil {
 			return err
 		}
-		var queries []pwcet.Query
-		for _, pf := range spec.Pfails {
-			for _, m := range mechs {
-				for _, tg := range spec.Targets {
-					queries = append(queries, pwcet.Query{
-						Cache:            cacheCfg,
-						Pfail:            pf,
-						Mechanism:        m,
-						TargetExceedance: tg,
-						MaxSupport:       spec.MaxSupport,
-						Coarsen:          spec.coarsen,
-					})
-				}
-			}
-		}
+		queries := spec.Queries()
 		results, err := eng.AnalyzeBatch(queries)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		for i, q := range queries {
-			rows = append(rows, batchRow{
-				Benchmark:     name,
-				Pfail:         q.Pfail,
-				Mechanism:     q.Mechanism.String(),
-				Target:        q.TargetExceedance,
-				FaultFreeWCET: results[i].FaultFreeWCET,
-				PWCET:         results[i].PWCET,
-			})
+		benchRows := batchspec.Rows(name, queries, results)
+		if c.ndjson {
+			for _, r := range benchRows {
+				if err := stream.Encode(r); err != nil {
+					return err
+				}
+			}
+			continue
 		}
+		rows = append(rows, benchRows...)
 	}
 
+	if c.ndjson {
+		return nil
+	}
 	if c.jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -616,6 +537,7 @@ func analyzeAll(stdout io.Writer, c *config) error {
 		p := malardalen.MustGet(name)
 		results, err := pwcet.AnalyzeAll(p, pwcet.Options{
 			Pfail: c.pfail, TargetExceedance: c.target, Workers: c.workers,
+			ExactConvolve: c.exact,
 		})
 		if err != nil {
 			return err

@@ -48,6 +48,10 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		{"batch plus mech", []string{"-batch", "x.json", "-mech", "srb"}, "cannot be combined with -batch"},
 		{"batch plus target", []string{"-batch", "x.json", "-target", "1e-9"}, "cannot be combined with -batch"},
 		{"batch plus coarsen", []string{"-batch", "x.json", "-coarsen", "keep-heaviest"}, "cannot be combined with -batch"},
+		{"batch plus exact-convolve", []string{"-batch", "x.json", "-exact-convolve"}, "cannot be combined with -batch"},
+		{"ndjson without batch", []string{"-bench", "bs", "-ndjson"}, "-ndjson requires -batch"},
+		{"ndjson plus list", []string{"-list", "-ndjson"}, "-ndjson requires -batch"},
+		{"ndjson plus json", []string{"-batch", "x.json", "-json", "-ndjson"}, "mutually exclusive"},
 		{"bad coarsen", []string{"-bench", "bs", "-coarsen", "bogus"}, "unknown coarsening strategy"},
 		{"list plus json", []string{"-list", "-json"}, "requires -bench or -batch"},
 		{"all plus json", []string{"-all", "-json"}, "requires -bench or -batch"},
@@ -352,6 +356,120 @@ func TestBatchCoarsenStrategy(t *testing.T) {
 	}
 	if rep.Coarsen != "keep-heaviest" {
 		t.Errorf("report coarsen = %q, want keep-heaviest", rep.Coarsen)
+	}
+}
+
+// TestBatchNDJSON: -ndjson streams one compact JSON row per line, in
+// the same order and with the same values as the -json array.
+func TestBatchNDJSON(t *testing.T) {
+	spec := `{
+		"benchmarks": ["bs", "fibcall"],
+		"pfails": [1e-4],
+		"mechanisms": ["none", "srb"]
+	}`
+	path := writeSpec(t, spec)
+	code, jsonOut, stderr := runCmd(t, "-batch", path, "-json")
+	if code != 0 {
+		t.Fatalf("-json exit %d: %s", code, stderr)
+	}
+	var want []json.RawMessage
+	if err := json.Unmarshal([]byte(jsonOut), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	code, ndOut, stderr := runCmd(t, "-batch", path, "-ndjson")
+	if code != 0 {
+		t.Fatalf("-ndjson exit %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(ndOut, "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("%d NDJSON lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		if strings.ContainsAny(line, " \t") && strings.Contains(line, "  ") {
+			t.Errorf("line %d is not compact: %q", i, line)
+		}
+		var wantRow, gotRow map[string]any
+		if err := json.Unmarshal(want[i], &wantRow); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(line), &gotRow); err != nil {
+			t.Fatalf("line %d unparseable: %v\n%s", i, err, line)
+		}
+		if len(gotRow) != len(wantRow) {
+			t.Fatalf("line %d fields %v, want %v", i, gotRow, wantRow)
+		}
+		for k, v := range wantRow {
+			if gotRow[k] != v {
+				t.Errorf("line %d field %q = %v, want %v", i, k, gotRow[k], v)
+			}
+		}
+	}
+}
+
+// TestExactConvolve: the -exact-convolve escape hatch and the spec's
+// exact_convolve field run the exact convolution fold; without a
+// binding support cap its pWCETs match the default path (the
+// differential suites pin this byte-identical), and the JSON report
+// echoes the flag.
+func TestExactConvolve(t *testing.T) {
+	code, fast, stderr := runCmd(t, "-bench", "bs", "-mech", "srb", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	code, exact, stderr := runCmd(t, "-bench", "bs", "-mech", "srb", "-json", "-exact-convolve")
+	if code != 0 {
+		t.Fatalf("-exact-convolve exit %d: %s", code, stderr)
+	}
+	var fastRep, exactRep struct {
+		ExactConvolve bool `json:"exact_convolve"`
+		Mechanisms    []struct {
+			PWCET int64 `json:"pwcet"`
+		} `json:"mechanisms"`
+	}
+	if err := json.Unmarshal([]byte(fast), &fastRep); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(exact), &exactRep); err != nil {
+		t.Fatal(err)
+	}
+	if fastRep.ExactConvolve || !exactRep.ExactConvolve {
+		t.Errorf("exact_convolve echo: fast %v, exact %v", fastRep.ExactConvolve, exactRep.ExactConvolve)
+	}
+	if len(fastRep.Mechanisms) != 1 || len(exactRep.Mechanisms) != 1 ||
+		fastRep.Mechanisms[0].PWCET != exactRep.Mechanisms[0].PWCET {
+		t.Errorf("uncapped exact convolution changed the pWCET: %+v vs %+v", fastRep.Mechanisms, exactRep.Mechanisms)
+	}
+
+	// Through the batch spec: exact_convolve + workers are accepted and
+	// the row matches a one-shot exact analysis.
+	spec := `{
+		"benchmarks": ["bs"],
+		"pfails": [1e-3],
+		"mechanisms": ["srb"],
+		"exact_convolve": true,
+		"workers": 2
+	}`
+	code, stdout, stderr := runCmd(t, "-batch", writeSpec(t, spec), "-json")
+	if code != 0 {
+		t.Fatalf("batch exact_convolve exit %d: %s", code, stderr)
+	}
+	var rows []struct {
+		PWCET int64 `json:"pwcet"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rows); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pwcet.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := pwcet.Analyze(p, pwcet.Options{Pfail: 1e-3, Mechanism: pwcet.SRB, ExactConvolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].PWCET != solo.PWCET {
+		t.Errorf("batch exact_convolve rows %+v, want pWCET %d", rows, solo.PWCET)
 	}
 }
 

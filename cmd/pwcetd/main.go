@@ -1,0 +1,200 @@
+// Command pwcetd serves the pwcet analysis over HTTP (see
+// internal/serve). It accepts cmd/pwcet batch specifications on
+// POST /v1/batch and streams result rows as NDJSON in grid order —
+// byte-identical to `pwcet -batch spec.json -ndjson` — while keeping
+// its memory flat via a bounded engine pool: at most -max-engines warm
+// engines stay resident, each retaining at most -max-artifact-bytes of
+// memoized artifacts.
+//
+//	pwcetd -addr 127.0.0.1:8080
+//	pwcetd -addr :8080 -api-keys key1,key2 -rate 5 -burst 10
+//	curl -N -H 'Authorization: Bearer key1' \
+//	     --data-binary @sweep.json http://localhost:8080/v1/batch
+//
+// Observability: GET /metrics returns request/row/pool counters and
+// per-stage latency histograms as JSON; /debug/pprof serves the
+// standard Go profiles; GET /healthz reports readiness (503 while
+// draining).
+//
+// Listening on a non-loopback address requires -api-keys (or the
+// explicit -insecure override). On SIGINT/SIGTERM the server drains:
+// new requests get 503, in-flight streams finish (up to
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// config is the parsed command line.
+type config struct {
+	addr         string
+	apiKeys      []string
+	insecure     bool
+	rate         float64
+	burst        int
+	maxBody      int64
+	batchTimeout time.Duration
+	drainTimeout time.Duration
+	workers      int
+	maxEngines   int
+	maxArtifact  int64
+}
+
+// parseFlags parses and validates the command line (usage errors exit
+// with status 2).
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("pwcetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := &config{}
+	var keys string
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&keys, "api-keys", "", "comma-separated API keys (empty = open server, loopback only)")
+	fs.BoolVar(&c.insecure, "insecure", false, "allow listening without API keys on non-loopback addresses")
+	fs.Float64Var(&c.rate, "rate", 0, "per-key sustained requests per second (0 = unlimited)")
+	fs.IntVar(&c.burst, "burst", 5, "per-key request burst")
+	fs.Int64Var(&c.maxBody, "max-body", 1<<20, "request body size limit in bytes")
+	fs.DurationVar(&c.batchTimeout, "batch-timeout", 10*time.Minute, "wall-clock limit per batch request (0 = unlimited)")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown drain limit")
+	fs.IntVar(&c.workers, "workers", 0, "default engine worker goroutines (0 = GOMAXPROCS; specs may override)")
+	fs.IntVar(&c.maxEngines, "max-engines", 8, "max resident warm engines in the pool (0 = unbounded)")
+	fs.Int64Var(&c.maxArtifact, "max-artifact-bytes", 64<<20, "per-engine memoized-artifact byte budget (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	usage := func(format string, a ...any) error {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(stderr, "pwcetd: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	if fs.NArg() > 0 {
+		return nil, usage("unexpected arguments %q", fs.Args())
+	}
+	if keys != "" {
+		for _, k := range strings.Split(keys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				c.apiKeys = append(c.apiKeys, k)
+			}
+		}
+	}
+	if c.rate < 0 {
+		return nil, usage("-rate %g is negative", c.rate)
+	}
+	if c.burst <= 0 {
+		return nil, usage("-burst %d must be positive", c.burst)
+	}
+	if c.maxBody <= 0 {
+		return nil, usage("-max-body %d must be positive", c.maxBody)
+	}
+	if c.batchTimeout < 0 || c.drainTimeout < 0 {
+		return nil, usage("timeouts must be non-negative")
+	}
+	if c.workers < 0 {
+		return nil, usage("-workers %d is negative (0 means GOMAXPROCS)", c.workers)
+	}
+	if c.maxEngines < 0 || c.maxArtifact < 0 {
+		return nil, usage("pool bounds must be non-negative (0 = unbounded)")
+	}
+	if len(c.apiKeys) == 0 && !c.insecure && !loopbackAddr(c.addr) {
+		return nil, usage("refusing to listen on non-loopback %q without -api-keys (or explicit -insecure)", c.addr)
+	}
+	return c, nil
+}
+
+// loopbackAddr reports whether the listen address binds only a
+// loopback interface.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// run starts the server and blocks until a shutdown signal (or a send
+// on stop, used by tests). If ready is non-nil the actual listen
+// address is sent once the listener is bound — tests pass ":0".
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	c, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Options{
+		APIKeys:       c.apiKeys,
+		RatePerSecond: c.rate,
+		Burst:         c.burst,
+		MaxBodyBytes:  c.maxBody,
+		BatchTimeout:  c.batchTimeout,
+		Workers:       c.workers,
+		Pool: serve.PoolOptions{
+			MaxEngines:       c.maxEngines,
+			MaxArtifactBytes: c.maxArtifact,
+		},
+	})
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "pwcetd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "pwcetd: listening on %s (pool: %d engines x %d artifact bytes)\n",
+		ln.Addr(), c.maxEngines, c.maxArtifact)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(signals)
+
+	select {
+	case sig := <-signals:
+		fmt.Fprintf(stdout, "pwcetd: %v, draining\n", sig)
+	case <-stop:
+		fmt.Fprintln(stdout, "pwcetd: stop requested, draining")
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "pwcetd:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "pwcetd: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "pwcetd: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "pwcetd: drained, exiting")
+	return 0
+}

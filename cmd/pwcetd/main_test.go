@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	pwcet "repro"
+	"repro/internal/batchspec"
+)
+
+// TestInvalidFlagsExitWithUsage: malformed command lines exit 2 with a
+// diagnostic and usage.
+func TestInvalidFlagsExitWithUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"extra"}, "unexpected arguments"},
+		{"negative rate", []string{"-rate", "-1"}, "negative"},
+		{"zero burst", []string{"-burst", "0"}, "must be positive"},
+		{"zero max-body", []string{"-max-body", "0"}, "must be positive"},
+		{"negative workers", []string{"-workers", "-1"}, "negative"},
+		{"negative max-engines", []string{"-max-engines", "-1"}, "non-negative"},
+		{"negative timeout", []string{"-batch-timeout", "-1s"}, "non-negative"},
+		{"unknown flag", []string{"-wat"}, "flag provided but not defined"},
+		{"open non-loopback", []string{"-addr", ":8080"}, "without -api-keys"},
+		{"open all interfaces", []string{"-addr", "0.0.0.0:8080"}, "without -api-keys"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr, nil, nil)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "Usage") {
+				t.Errorf("stderr missing usage:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestLoopbackOpenAllowed: loopback addresses may run without keys;
+// non-loopback requires -insecure. (Parse-level check only — no
+// listener is bound because the address is invalid.)
+func TestLoopbackOpenAllowed(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseFlags([]string{"-addr", "localhost:9"}, &stderr); err != nil {
+		t.Errorf("open loopback rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-addr", "[::1]:9"}, &stderr); err != nil {
+		t.Errorf("open IPv6 loopback rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-addr", ":9", "-insecure"}, &stderr); err != nil {
+		t.Errorf("-insecure override rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-addr", ":9", "-api-keys", "k"}, &stderr); err != nil {
+		t.Errorf("keyed non-loopback rejected: %v", err)
+	}
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, streams a
+// sweep, checks the rows against a direct engine run, reads /metrics
+// and /healthz, and shuts down cleanly via the stop channel.
+func TestServeEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	var stdout, stderr bytes.Buffer
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-api-keys", "test-key", "-max-engines", "2"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before ready: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	// Auth is enforced.
+	resp, err := http.Post(base+"/v1/batch", "application/json",
+		strings.NewReader(`{"pfails":[1e-4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless batch: %d, want 401", resp.StatusCode)
+	}
+
+	// A real sweep streams NDJSON rows matching a direct engine run.
+	spec := `{"benchmarks":["bs"],"pfails":[1e-5,1e-3],"mechanisms":["none","srb"]}`
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/batch", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer test-key")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var got []batchspec.Row
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row batchspec.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, row)
+	}
+	parsed, err := batchspec.Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pwcet.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pwcet.NewEngine(p, parsed.EngineOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := parsed.Queries()
+	results, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchspec.Rows("bs", queries, results)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Metrics and pprof are wired.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, field := range []string{"rows_streamed", "engine_pool", "artifact_bytes", "row_latency"} {
+		if !strings.Contains(string(mbody), field) {
+			t.Errorf("/metrics missing %q:\n%s", field, mbody)
+		}
+	}
+	presp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", presp.StatusCode)
+	}
+
+	// Clean shutdown.
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after stop")
+	}
+	if !strings.Contains(stdout.String(), "drained, exiting") {
+		t.Errorf("missing drain log:\n%s", stdout.String())
+	}
+}

@@ -27,7 +27,10 @@ var DefaultCriticalPackages = []string{
 	"repro/internal/sim",
 	"repro/internal/progen",
 	"repro/internal/malardalen",
+	"repro/internal/batchspec",
+	"repro/internal/serve",
 	"repro/cmd/pwcet",
+	"repro/cmd/pwcetd",
 	"repro/cmd/paperfigs",
 	"repro/cmd/benchjson",
 }

@@ -1,0 +1,247 @@
+// Package batchspec defines the JSON sweep specification and the row
+// format shared by cmd/pwcet -batch and the pwcetd analysis service
+// (internal/serve). Both front ends parse the same wire format with the
+// same validation and expand it to the same query grid — benchmarks
+// outermost, then pfails x mechanisms x targets — so a sweep streamed
+// by the service is byte-identical, row for row, to the same sweep run
+// through the CLI.
+//
+// The specification is a single JSON object:
+//
+//	{
+//	  "benchmarks": ["adpcm", "crc"],          // omitted = whole suite
+//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // required, non-empty
+//	  "mechanisms": ["none", "rw", "srb"],     // omitted = all three
+//	  "targets": [1e-15],                      // omitted = [1e-15]
+//	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
+//	            "hit_latency": 1, "mem_latency": 100}, // omitted = paper cache
+//	  "max_support": 4096,                     // omitted = default
+//	  "coarsen": "least-error",                // or "keep-heaviest"
+//	  "exact_convolve": false,                 // exact convolution fold
+//	  "workers": 0                             // 0/omitted = caller's default
+//	}
+package batchspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/malardalen"
+)
+
+// Cache is the JSON wire form of a cache geometry, with the stable
+// field names of the -batch specification and the pwcet JSON reports.
+type Cache struct {
+	Sets       int   `json:"sets"`
+	Ways       int   `json:"ways"`
+	BlockBytes int   `json:"block_bytes"`
+	HitLatency int64 `json:"hit_latency"`
+	MemLatency int64 `json:"mem_latency"`
+}
+
+// Config converts the wire form to the analysis configuration.
+func (c Cache) Config() cache.Config {
+	return cache.Config{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
+		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
+}
+
+// FromConfig converts an analysis configuration to the wire form.
+func FromConfig(c cache.Config) Cache {
+	return Cache{Sets: c.Sets, Ways: c.Ways, BlockBytes: c.BlockBytes,
+		HitLatency: c.HitLatency, MemLatency: c.MemLatency}
+}
+
+// specJSON is the wire format of the sweep specification.
+type specJSON struct {
+	Benchmarks    []string  `json:"benchmarks"`
+	Pfails        []float64 `json:"pfails"`
+	Mechanisms    []string  `json:"mechanisms"`
+	Targets       []float64 `json:"targets"`
+	Cache         *Cache    `json:"cache"`
+	MaxSupport    int       `json:"max_support"`
+	Coarsen       string    `json:"coarsen"`
+	ExactConvolve bool      `json:"exact_convolve"`
+	Workers       int       `json:"workers"`
+}
+
+// Spec is a parsed and validated sweep specification. Every field is
+// fully resolved: defaults applied, names verified, enums parsed.
+type Spec struct {
+	// Benchmarks are the suite benchmarks to sweep, in specification
+	// order (the whole suite when the spec omitted them).
+	Benchmarks []string
+	// Pfails, Mechanisms and Targets span the per-benchmark query grid,
+	// expanded in that nesting order by Queries.
+	Pfails     []float64
+	Mechanisms []cache.Mechanism
+	Targets    []float64
+	// Cache is the geometry of every query; the zero value selects the
+	// engine default (the paper cache).
+	Cache cache.Config
+	// MaxSupport and Coarsen configure the convolution support cap.
+	MaxSupport int
+	Coarsen    dist.CoarsenStrategy
+	// ExactConvolve routes every query through the exact convolution
+	// fold (EngineOptions.ExactConvolve) — the differential escape
+	// hatch for validating the optimized reduction.
+	ExactConvolve bool
+	// Workers is the worker-pool bound for the sweep's engines; 0
+	// defers to the caller (the -workers flag or the server default).
+	Workers int
+}
+
+// Parse decodes and validates a sweep specification. Unknown fields,
+// trailing data and out-of-domain values are rejected with errors that
+// name the offending field.
+func Parse(r io.Reader) (*Spec, error) {
+	var wire specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after the specification object")
+	}
+
+	if len(wire.Pfails) == 0 {
+		return nil, fmt.Errorf("pfails must be non-empty")
+	}
+	for _, pf := range wire.Pfails {
+		if pf < 0 || pf > 1 || math.IsNaN(pf) {
+			return nil, fmt.Errorf("pfail %g outside [0,1]", pf)
+		}
+	}
+	spec := &Spec{
+		Benchmarks:    wire.Benchmarks,
+		Pfails:        wire.Pfails,
+		Targets:       wire.Targets,
+		MaxSupport:    wire.MaxSupport,
+		ExactConvolve: wire.ExactConvolve,
+		Workers:       wire.Workers,
+	}
+	if len(spec.Targets) == 0 {
+		spec.Targets = []float64{core.DefaultTargetExceedance}
+	}
+	for _, tg := range spec.Targets {
+		if tg <= 0 || tg >= 1 || math.IsNaN(tg) {
+			return nil, fmt.Errorf("target %g outside (0,1)", tg)
+		}
+	}
+	if wire.Cache != nil {
+		spec.Cache = wire.Cache.Config()
+		if err := spec.Cache.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if spec.MaxSupport != 0 && spec.MaxSupport < 2 {
+		return nil, fmt.Errorf("max_support %d: need at least 2 support points (or 0 for the default)", spec.MaxSupport)
+	}
+	if wire.Coarsen != "" {
+		s, err := dist.ParseCoarsenStrategy(wire.Coarsen)
+		if err != nil {
+			return nil, err
+		}
+		spec.Coarsen = s
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("workers %d is negative (0 means the caller's default)", spec.Workers)
+	}
+	if len(spec.Benchmarks) == 0 {
+		spec.Benchmarks = malardalen.Names()
+	}
+	for _, name := range spec.Benchmarks {
+		if _, err := malardalen.Get(name); err != nil {
+			return nil, err
+		}
+	}
+	if len(wire.Mechanisms) == 0 {
+		wire.Mechanisms = []string{"none", "rw", "srb"}
+	}
+	spec.Mechanisms = make([]cache.Mechanism, len(wire.Mechanisms))
+	for i, s := range wire.Mechanisms {
+		m, err := cache.ParseMechanism(s)
+		if err != nil {
+			return nil, err
+		}
+		spec.Mechanisms[i] = m
+	}
+	return spec, nil
+}
+
+// Queries expands the per-benchmark query grid in the canonical order:
+// pfails outermost, then mechanisms, then targets. Every benchmark of
+// the sweep runs this same grid on its own engine.
+func (s *Spec) Queries() []core.Query {
+	queries := make([]core.Query, 0, len(s.Pfails)*len(s.Mechanisms)*len(s.Targets))
+	for _, pf := range s.Pfails {
+		for _, m := range s.Mechanisms {
+			for _, tg := range s.Targets {
+				queries = append(queries, core.Query{
+					Cache:            s.Cache,
+					Pfail:            pf,
+					Mechanism:        m,
+					TargetExceedance: tg,
+					MaxSupport:       s.MaxSupport,
+					Coarsen:          s.Coarsen,
+				})
+			}
+		}
+	}
+	return queries
+}
+
+// EngineOptions returns the engine configuration the sweep's queries
+// assume. workers is the caller's default worker bound, used when the
+// specification left its own workers field at 0.
+func (s *Spec) EngineOptions(workers int) core.EngineOptions {
+	if s.Workers != 0 {
+		workers = s.Workers
+	}
+	return core.EngineOptions{Workers: workers, ExactConvolve: s.ExactConvolve}
+}
+
+// NumRows is the total number of result rows the sweep produces.
+func (s *Spec) NumRows() int {
+	return len(s.Benchmarks) * len(s.Pfails) * len(s.Mechanisms) * len(s.Targets)
+}
+
+// Row is one sweep point's outcome — the JSON row format of
+// cmd/pwcet -batch -json and of the service's NDJSON stream. The field
+// set and order are part of the byte-identity contract between the two
+// front ends.
+type Row struct {
+	Benchmark     string  `json:"benchmark"`
+	Pfail         float64 `json:"pfail"`
+	Mechanism     string  `json:"mechanism"`
+	Target        float64 `json:"target"`
+	FaultFreeWCET int64   `json:"fault_free_wcet"`
+	PWCET         int64   `json:"pwcet"`
+}
+
+// RowOf builds the row of one (benchmark, query) sweep point.
+func RowOf(benchmark string, q core.Query, r *core.Result) Row {
+	return Row{
+		Benchmark:     benchmark,
+		Pfail:         q.Pfail,
+		Mechanism:     q.Mechanism.String(),
+		Target:        q.TargetExceedance,
+		FaultFreeWCET: r.FaultFreeWCET,
+		PWCET:         r.PWCET,
+	}
+}
+
+// Rows converts one benchmark's batch results, in Queries order, to
+// rows.
+func Rows(benchmark string, queries []core.Query, results []*core.Result) []Row {
+	rows := make([]Row, len(results))
+	for i, r := range results {
+		rows[i] = RowOf(benchmark, queries[i], r)
+	}
+	return rows
+}

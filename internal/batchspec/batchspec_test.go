@@ -1,0 +1,140 @@
+package batchspec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/malardalen"
+)
+
+func parse(t *testing.T, s string) *Spec {
+	t.Helper()
+	spec, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", s, err)
+	}
+	return spec
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec := parse(t, `{"pfails": [1e-4]}`)
+	if len(spec.Benchmarks) != len(malardalen.Names()) {
+		t.Errorf("default benchmarks %d, want the whole suite (%d)", len(spec.Benchmarks), len(malardalen.Names()))
+	}
+	if len(spec.Mechanisms) != 3 {
+		t.Errorf("default mechanisms %v, want all three", spec.Mechanisms)
+	}
+	if len(spec.Targets) != 1 || spec.Targets[0] != core.DefaultTargetExceedance {
+		t.Errorf("default targets %v, want [%g]", spec.Targets, core.DefaultTargetExceedance)
+	}
+	if spec.Cache != (cache.Config{}) {
+		t.Errorf("default cache %+v, want the zero value (engine default)", spec.Cache)
+	}
+	if spec.ExactConvolve || spec.Workers != 0 || spec.MaxSupport != 0 || spec.Coarsen != dist.CoarsenLeastError {
+		t.Errorf("unexpected non-defaults: %+v", spec)
+	}
+}
+
+func TestParseFullSpec(t *testing.T) {
+	spec := parse(t, `{
+		"benchmarks": ["bs", "fibcall"],
+		"pfails": [1e-5, 1e-3],
+		"mechanisms": ["srb", "none"],
+		"targets": [1e-9, 1e-15],
+		"cache": {"sets": 8, "ways": 2, "block_bytes": 8, "hit_latency": 1, "mem_latency": 10},
+		"max_support": 64,
+		"coarsen": "keep-heaviest",
+		"exact_convolve": true,
+		"workers": 3
+	}`)
+	if got := spec.Mechanisms; len(got) != 2 || got[0] != cache.MechanismSRB || got[1] != cache.MechanismNone {
+		t.Errorf("mechanisms %v do not preserve spec order", got)
+	}
+	if spec.Cache.Sets != 8 || spec.Cache.MemLatency != 10 {
+		t.Errorf("cache not decoded: %+v", spec.Cache)
+	}
+	if !spec.ExactConvolve || spec.Workers != 3 || spec.Coarsen != dist.CoarsenKeepHeaviest {
+		t.Errorf("spec knobs not decoded: %+v", spec)
+	}
+	if n := spec.NumRows(); n != 2*2*2*2 {
+		t.Errorf("NumRows %d, want 16", n)
+	}
+
+	// The grid order is pfails, then mechanisms, then targets.
+	q := spec.Queries()
+	if len(q) != 8 {
+		t.Fatalf("%d queries per benchmark, want 8", len(q))
+	}
+	want := []core.Query{
+		{Pfail: 1e-5, Mechanism: cache.MechanismSRB, TargetExceedance: 1e-9},
+		{Pfail: 1e-5, Mechanism: cache.MechanismSRB, TargetExceedance: 1e-15},
+		{Pfail: 1e-5, Mechanism: cache.MechanismNone, TargetExceedance: 1e-9},
+		{Pfail: 1e-5, Mechanism: cache.MechanismNone, TargetExceedance: 1e-15},
+		{Pfail: 1e-3, Mechanism: cache.MechanismSRB, TargetExceedance: 1e-9},
+		{Pfail: 1e-3, Mechanism: cache.MechanismSRB, TargetExceedance: 1e-15},
+		{Pfail: 1e-3, Mechanism: cache.MechanismNone, TargetExceedance: 1e-9},
+		{Pfail: 1e-3, Mechanism: cache.MechanismNone, TargetExceedance: 1e-15},
+	}
+	for i, w := range want {
+		g := q[i]
+		if g.Pfail != w.Pfail || g.Mechanism != w.Mechanism || g.TargetExceedance != w.TargetExceedance {
+			t.Errorf("query %d = %+v, want grid point %+v", i, g, w)
+		}
+		if g.MaxSupport != 64 || g.Coarsen != dist.CoarsenKeepHeaviest || g.Cache != spec.Cache {
+			t.Errorf("query %d does not carry the spec-level knobs: %+v", i, g)
+		}
+	}
+
+	opt := spec.EngineOptions(7)
+	if opt.Workers != 3 || !opt.ExactConvolve {
+		t.Errorf("EngineOptions: spec workers must override the caller default: %+v", opt)
+	}
+	if opt := parse(t, `{"pfails": [1e-4]}`).EngineOptions(7); opt.Workers != 7 {
+		t.Errorf("EngineOptions: omitted workers must defer to the caller: %+v", opt)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ name, spec, want string }{
+		{"no pfails", `{"benchmarks": ["bs"]}`, "pfails must be non-empty"},
+		{"bad pfail", `{"pfails": [2]}`, "outside [0,1]"},
+		{"bad target", `{"pfails": [1e-4], "targets": [0]}`, "outside (0,1)"},
+		{"bad mechanism", `{"pfails": [1e-4], "mechanisms": ["bogus"]}`, "unknown mechanism"},
+		{"bad benchmark", `{"pfails": [1e-4], "benchmarks": ["nope"]}`, "unknown benchmark"},
+		{"bad max_support", `{"pfails": [1e-4], "max_support": 1}`, "at least 2 support points"},
+		{"bad coarsen", `{"pfails": [1e-4], "coarsen": "bogus"}`, "unknown coarsening strategy"},
+		{"bad workers", `{"pfails": [1e-4], "workers": -1}`, "workers -1 is negative"},
+		{"bad cache", `{"pfails": [1e-4], "cache": {"sets": 3, "ways": 1, "block_bytes": 8, "hit_latency": 1, "mem_latency": 10}}`, "power of two"},
+		{"unknown field", `{"pfails": [1e-4], "wat": 1}`, "unknown field"},
+		{"trailing data", `{"pfails": [1e-4]} {"pfails": [1e-4]}`, "trailing data"},
+		{"syntax", `{`, "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.spec))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRowOf(t *testing.T) {
+	q := core.Query{Pfail: 1e-4, Mechanism: cache.MechanismRW, TargetExceedance: 1e-12}
+	r := &core.Result{FaultFreeWCET: 100, PWCET: 250}
+	row := RowOf("bs", q, r)
+	want := Row{Benchmark: "bs", Pfail: 1e-4, Mechanism: "rw", Target: 1e-12, FaultFreeWCET: 100, PWCET: 250}
+	if row != want {
+		t.Errorf("RowOf = %+v, want %+v", row, want)
+	}
+	rows := Rows("bs", []core.Query{q}, []*core.Result{r})
+	if len(rows) != 1 || rows[0] != want {
+		t.Errorf("Rows = %+v", rows)
+	}
+}

@@ -129,6 +129,12 @@ func (o Options) validate() error {
 	// either disable the cap (<= 0, silently unbounded memory) or
 	// collapse every distribution to its maximum (1). Only 0 (replaced
 	// by the default above) is a valid "unset".
+	//
+	// Note the per-query support cap is distinct from the session-level
+	// artifact memory: an Engine retains every memoized artifact
+	// forever unless EngineOptions.MaxArtifactBytes sets a byte budget
+	// (<= 0 keeps the unbounded behavior — see its documentation).
+	// Long-lived processes should set a budget.
 	if o.MaxSupport < 2 {
 		return fmt.Errorf("core: MaxSupport %d: need at least 2 support points (or 0 for the default %d)",
 			o.MaxSupport, DefaultMaxSupport)

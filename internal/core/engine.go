@@ -189,6 +189,23 @@ type EngineOptions struct {
 	// byte-identical results whenever no coarsening binds, final-
 	// coarsen-only semantics (no in-tree coarsening) when it does.
 	ExactConvolve bool
+	// MaxArtifactBytes bounds the estimated resident bytes of the
+	// engine's memoized artifacts (classification fixpoints, warm IPET
+	// contexts, FMM columns). When an artifact computation pushes the
+	// estimate over the budget, least-recently-used artifacts are
+	// evicted and recomputed on next use — eviction is behavior-
+	// invariant (evicted artifacts are pure functions of their keys, so
+	// recomputation is byte-identical; asserted by the eviction tests)
+	// and changes only memory and wall-clock time, never any result.
+	// The pinned working set of one in-flight query is the effective
+	// floor: budgets below it still behave correctly, evicting
+	// everything between queries.
+	//
+	// <= 0 (the zero value) keeps the historical behavior: every
+	// artifact is retained for the lifetime of the Engine, unbounded.
+	// Long-lived processes serving many programs or cache geometries
+	// (e.g. internal/serve's engine pool) should set a budget.
+	MaxArtifactBytes int64
 }
 
 // Engine is a reusable analysis session for one program. It memoizes
@@ -199,20 +216,31 @@ type EngineOptions struct {
 // An Engine is safe for concurrent use; all memoized artifacts are pure
 // functions of their keys, so results are byte-identical to independent
 // one-shot Analyze calls with the same Workers setting, in any order.
-// Memoized artifacts are retained for the lifetime of the Engine —
-// long-lived services sweeping many cache geometries should scope an
-// Engine per batch if memory is a concern.
+// By default memoized artifacts are retained for the lifetime of the
+// Engine (unbounded memory); EngineOptions.MaxArtifactBytes bounds the
+// estimated resident total with LRU eviction, trading recomputation for
+// memory without ever changing a result. MemStats reports the resident
+// estimate and the hit/miss/eviction counters.
 type Engine struct {
 	p        *program.Program
 	workers  int
 	hook     func(ArtifactEvent)
 	ref      bool
 	exact    bool
+	maxBytes int64
 	pristine *ipet.System
 
 	mu      sync.Mutex
 	classes map[classKey]*classEntry
 	ctxs    map[ctxKey]*ctxEntry
+
+	// Artifact-memory accounting (see memory.go), guarded by mu.
+	lruHead, lruTail *memoNode
+	resident         int64
+	artifacts        int
+	hits, misses     uint64
+	evictions        uint64
+	evictedBytes     int64
 }
 
 // classKey identifies one classification artifact: a cache geometry
@@ -224,6 +252,7 @@ type classKey struct {
 
 // classEntry memoizes the analyzer and classification of one classKey.
 type classEntry struct {
+	node *memoNode
 	once sync.Once
 	a    *absint.Analyzer
 	base []chmc.Class
@@ -242,7 +271,11 @@ type ctxKey struct {
 }
 
 // ctxEntry memoizes one context's warm system, WCET and FMM artifacts.
+// The fmms map and fmmList are guarded by Engine.mu; fmmList mirrors the
+// map as a slice so evicting a whole context can settle its FMM nodes
+// without a map iteration.
 type ctxEntry struct {
+	node *memoNode
 	once sync.Once
 	err  error
 
@@ -250,8 +283,8 @@ type ctxEntry struct {
 	sys    *ipet.System
 	wcet   *ipet.WCETResult
 
-	mu   sync.Mutex
-	fmms map[fmmKey]*fmmEntry
+	fmms    map[fmmKey]*fmmEntry
+	fmmList []*fmmEntry
 }
 
 // fmmKind selects one memoized FMM artifact of a context.
@@ -275,6 +308,8 @@ type fmmKey struct {
 }
 
 type fmmEntry struct {
+	key  fmmKey
+	node *memoNode
 	once sync.Once
 	fmm  ipet.FMM
 	err  error
@@ -310,6 +345,7 @@ func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
 		hook:     opt.Hook,
 		ref:      opt.Reference,
 		exact:    opt.ExactConvolve,
+		maxBytes: opt.MaxArtifactBytes,
 		pristine: sys,
 		classes:  make(map[classKey]*classEntry),
 		ctxs:     make(map[ctxKey]*ctxEntry),
@@ -329,15 +365,25 @@ func (e *Engine) emit(ev ArtifactEvent) {
 }
 
 // class returns the memoized classification of one cache configuration,
-// computing the fixpoints on first use.
+// computing the fixpoints on first use. The entry is pinned for the
+// caller — class is only called from context construction, and the
+// resulting context holds the pin until it is itself evicted (or its
+// construction fails), so a resident context can never reference an
+// evicted, unaccounted classification.
 func (e *Engine) class(cfg cache.Config, data bool) *classEntry {
 	key := classKey{cfg: cfg, data: data}
 	e.mu.Lock()
 	c := e.classes[key]
 	if c == nil {
 		c = &classEntry{}
+		c.node = &memoNode{drop: func(e *Engine) { delete(e.classes, key) }}
 		e.classes[key] = c
+		e.misses++
+	} else {
+		e.hits++
+		e.touchLocked(c.node)
 	}
+	c.node.pins++
 	e.mu.Unlock()
 	c.once.Do(func() {
 		switch {
@@ -351,15 +397,23 @@ func (e *Engine) class(cfg cache.Config, data bool) *classEntry {
 			c.a = absint.New(e.p, cfg)
 		}
 		c.base = c.a.ClassifyAll()
+		e.mu.Lock()
+		e.chargeLocked(c.node, c.a.MemBytes()+int64(cap(c.base)))
+		e.mu.Unlock()
 		e.emit(ArtifactEvent{Artifact: ArtifactClassification, Cache: cfg, Data: data})
 	})
 	return c
 }
 
-// srb returns the memoized SRB guaranteed-hit classification.
+// srb returns the memoized SRB guaranteed-hit classification. Its bytes
+// are charged onto the owning classification's node (it shares that
+// artifact's lifetime and key).
 func (e *Engine) srb(c *classEntry, data bool) []bool {
 	c.srbOnce.Do(func() {
 		c.srbHit = c.a.ClassifySRB()
+		e.mu.Lock()
+		e.chargeLocked(c.node, int64(cap(c.srbHit)))
+		e.mu.Unlock()
 		e.emit(ArtifactEvent{Artifact: ArtifactSRBClassification, Cache: c.a.Config(), Data: data})
 	})
 	return c.srbHit
@@ -368,6 +422,10 @@ func (e *Engine) srb(c *classEntry, data bool) []bool {
 // context returns the memoized WCET context of the query's cache pair:
 // a private System warmed by exactly the fault-free WCET solve a
 // one-shot Analyze would run, and the WCET result. Errors are sticky.
+//
+// The returned context is pinned for the calling query — it cannot be
+// evicted while the analysis uses it. The caller must releaseCtx it
+// (analyze defers this); on error the pin is dropped here.
 func (e *Engine) context(icfg cache.Config, dcfg *cache.Config) (*ctxEntry, error) {
 	key := ctxKey{icfg: icfg}
 	if dcfg != nil {
@@ -377,11 +435,18 @@ func (e *Engine) context(icfg cache.Config, dcfg *cache.Config) (*ctxEntry, erro
 	ctx := e.ctxs[key]
 	if ctx == nil {
 		ctx = &ctxEntry{fmms: make(map[fmmKey]*fmmEntry)}
+		entry := ctx
+		ctx.node = &memoNode{drop: func(e *Engine) { e.dropCtxLocked(key, entry) }}
 		e.ctxs[key] = ctx
+		e.misses++
+	} else {
+		e.hits++
+		e.touchLocked(ctx.node)
 	}
+	ctx.node.pins++
 	e.mu.Unlock()
 	ctx.once.Do(func() {
-		ctx.ic = e.class(icfg, false)
+		ctx.ic = e.class(icfg, false) // pins the classification until ctx eviction
 		if key.hasData {
 			ctx.dc = e.class(key.dcfg, true)
 		}
@@ -396,25 +461,87 @@ func (e *Engine) context(icfg cache.Config, dcfg *cache.Config) (*ctxEntry, erro
 			da, dbase = ctx.dc.a, ctx.dc.base
 		}
 		ctx.wcet, ctx.err = ipet.WCETCombined(ctx.sys, ctx.ic.a, ctx.ic.base, da, dbase)
+		e.mu.Lock()
+		if ctx.err != nil {
+			// The sticky error entry stays for dedup, but it is never
+			// charged or evicted, so it must not pin its classifications.
+			e.unpinClassesLocked(ctx)
+		} else {
+			cost := ctx.sys.WarmMemBytes() + int64(cap(ctx.wcet.BlockCounts))*8
+			e.chargeLocked(ctx.node, cost)
+		}
+		e.mu.Unlock()
 		if ctx.err == nil {
 			e.emit(ArtifactEvent{Artifact: ArtifactWCET, Cache: icfg, Data: key.hasData})
 		}
 	})
 	if ctx.err != nil {
+		e.releaseCtx(ctx)
 		return nil, ctx.err
 	}
 	return ctx, nil
 }
 
-// fmmArtifact returns one memoized FMM artifact of the context.
+// releaseCtx drops a query's pin on its context and enforces the byte
+// budget now that the query's working set is no longer pinned.
+func (e *Engine) releaseCtx(ctx *ctxEntry) {
+	e.mu.Lock()
+	ctx.node.pins--
+	e.evictLocked()
+	e.mu.Unlock()
+}
+
+// unpinClassesLocked releases the context's pins on its classification
+// entries (on context eviction, or when construction failed).
+func (e *Engine) unpinClassesLocked(ctx *ctxEntry) {
+	if ctx.ic != nil {
+		ctx.ic.node.pins--
+	}
+	if ctx.dc != nil {
+		ctx.dc.node.pins--
+	}
+}
+
+// dropCtxLocked is the context node's drop callback: it removes the
+// context from the memo map, settles its resident FMM artifacts and
+// releases the classification pins.
+func (e *Engine) dropCtxLocked(key ctxKey, ctx *ctxEntry) {
+	delete(e.ctxs, key)
+	e.unpinClassesLocked(ctx)
+	for _, fe := range ctx.fmmList {
+		if fe.node.linked {
+			e.evictNodeLocked(fe.node)
+		}
+	}
+}
+
+// fmmArtifact returns one memoized FMM artifact of the context. The
+// caller must hold a pin on the context (analyze does, for the whole
+// query), which keeps the context — though not necessarily this FMM
+// entry — resident while the artifact is computed and read.
 func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
-	ctx.mu.Lock()
+	e.mu.Lock()
 	entry := ctx.fmms[key]
 	if entry == nil {
-		entry = &fmmEntry{}
+		entry = &fmmEntry{key: key}
+		entry.node = &memoNode{drop: func(e *Engine) { delete(ctx.fmms, key) }}
 		ctx.fmms[key] = entry
+		// Compact evicted entries out of the list mirror so evict/
+		// recompute churn on a long-lived context cannot grow it without
+		// bound (at most one live entry per fmmKey survives).
+		live := ctx.fmmList[:0]
+		for _, fe := range ctx.fmmList {
+			if ctx.fmms[fe.key] == fe {
+				live = append(live, fe)
+			}
+		}
+		ctx.fmmList = append(live, entry)
+		e.misses++
+	} else {
+		e.hits++
+		e.touchLocked(entry.node)
 	}
-	ctx.mu.Unlock()
+	e.mu.Unlock()
 	entry.once.Do(func() {
 		c := ctx.ic
 		if key.data {
@@ -447,6 +574,9 @@ func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
 		}
 		entry.fmm, entry.err = ipet.ComputeFMM(ctx.sys, c.a, c.base, opt)
 		if entry.err == nil {
+			e.mu.Lock()
+			e.chargeLocked(entry.node, entry.fmm.MemBytes())
+			e.mu.Unlock()
 			e.emit(ev)
 		}
 	})
@@ -531,6 +661,10 @@ func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The context (and through it the classifications) stays pinned —
+	// not evictable — for the rest of the query; the budget is enforced
+	// against the unpinned remainder now and fully on release.
+	defer e.releaseCtx(ctx)
 	fmm, err := e.fmmFor(ctx, false, opt.Mechanism, false)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,159 @@
+package core
+
+// This file implements the Engine's bounded artifact memory
+// (EngineOptions.MaxArtifactBytes). Every memoized artifact class —
+// classification fixpoints, warm IPET contexts, per-context FMM
+// columns — carries an estimated byte cost (the MemBytes estimators of
+// internal/absint, internal/ipet and internal/lp) and an intrusive LRU
+// node. When the estimated resident total exceeds the budget, least-
+// recently-used unpinned artifacts are evicted: removed from their memo
+// map so the next query that needs them recomputes them from scratch.
+//
+// Eviction is behavior-invariant by construction: every artifact is an
+// immutable pure function of its key, so evict → recompute yields
+// byte-identical data, and an in-flight query that still holds a
+// pointer to an evicted entry keeps reading valid immutable state. The
+// eviction tests assert both properties with the Hook counters (the
+// recomputation fires the hook again) and full-result DeepEqual.
+//
+// Pinning keeps the accounting honest across the artifact dependency
+// edges: a resident WCET context pins the classification entries it
+// references (they cannot be evicted out from under it, which would
+// leave resident-but-unaccounted memory), and every in-flight query
+// pins its context for the duration of the analysis. The pinned
+// working set of one query is therefore the hard floor of the budget:
+// MaxArtifactBytes below that floor still yields correct results, with
+// everything evicted between queries.
+
+// memoNode is the LRU/accounting handle of one memoized artifact. All
+// fields are guarded by Engine.mu.
+type memoNode struct {
+	cost   int64
+	pins   int
+	linked bool
+	prev   *memoNode
+	next   *memoNode
+	// drop removes the artifact from its owner map and releases its
+	// dependency pins. Called with Engine.mu held, after the node has
+	// been unlinked and its cost subtracted.
+	drop func(e *Engine)
+}
+
+// MemStats is a snapshot of the engine's artifact-memory accounting.
+type MemStats struct {
+	// ArtifactBytes is the estimated resident bytes of all memoized
+	// artifacts (classification fixpoints, warm IPET contexts, FMM
+	// columns). Estimates come from the MemBytes cost model, not the
+	// allocator, so treat them as consistent, not byte-exact.
+	ArtifactBytes int64
+	// MaxArtifactBytes echoes the configured budget (<= 0: unbounded).
+	MaxArtifactBytes int64
+	// Artifacts is the number of resident memoized artifacts.
+	Artifacts int
+	// Hits and Misses count memo-table lookups: a hit found the
+	// artifact (possibly still being computed by another goroutine), a
+	// miss created the entry and triggered a computation.
+	Hits, Misses uint64
+	// Evictions counts artifacts evicted under the byte budget;
+	// EvictedBytes is their cumulative estimated size.
+	Evictions    uint64
+	EvictedBytes int64
+}
+
+// MemStats returns a consistent snapshot of the artifact-memory
+// accounting. Safe for concurrent use.
+func (e *Engine) MemStats() MemStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return MemStats{
+		ArtifactBytes:    e.resident,
+		MaxArtifactBytes: e.maxBytes,
+		Artifacts:        e.artifacts,
+		Hits:             e.hits,
+		Misses:           e.misses,
+		Evictions:        e.evictions,
+		EvictedBytes:     e.evictedBytes,
+	}
+}
+
+// linkFrontLocked inserts the node at the most-recently-used end.
+func (e *Engine) linkFrontLocked(n *memoNode) {
+	n.prev, n.next = nil, e.lruHead
+	if e.lruHead != nil {
+		e.lruHead.prev = n
+	}
+	e.lruHead = n
+	if e.lruTail == nil {
+		e.lruTail = n
+	}
+	n.linked = true
+	e.artifacts++
+}
+
+// unlinkLocked removes the node from the LRU list (list surgery only;
+// accounting is the caller's job).
+func (e *Engine) unlinkLocked(n *memoNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		e.lruHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		e.lruTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	n.linked = false
+	e.artifacts--
+}
+
+// touchLocked marks the node most recently used. Nodes that are not
+// linked yet (still being computed) or already evicted are left alone.
+func (e *Engine) touchLocked(n *memoNode) {
+	if !n.linked || e.lruHead == n {
+		return
+	}
+	e.unlinkLocked(n)
+	e.linkFrontLocked(n)
+}
+
+// chargeLocked adds delta estimated bytes to the node, linking it into
+// the LRU on first charge, and enforces the budget.
+func (e *Engine) chargeLocked(n *memoNode, delta int64) {
+	n.cost += delta
+	e.resident += delta
+	if !n.linked {
+		e.linkFrontLocked(n)
+	}
+	e.evictLocked()
+}
+
+// evictNodeLocked unlinks one node and settles its accounting, then
+// runs its drop callback (owner-map removal, dependency unpinning).
+func (e *Engine) evictNodeLocked(n *memoNode) {
+	e.unlinkLocked(n)
+	e.resident -= n.cost
+	e.evictions++
+	e.evictedBytes += n.cost
+	n.drop(e)
+}
+
+// evictLocked evicts least-recently-used unpinned artifacts until the
+// resident estimate fits the budget (or only pinned artifacts remain —
+// the working set of in-flight queries is never evicted).
+func (e *Engine) evictLocked() {
+	if e.maxBytes <= 0 {
+		return
+	}
+	for e.resident > e.maxBytes {
+		victim := e.lruTail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return
+		}
+		e.evictNodeLocked(victim)
+	}
+}

@@ -1,0 +1,32 @@
+package lp
+
+// MemBytes estimates the resident heap bytes of the simplex tableau:
+// the row storage (the contiguous backing array once compacted, the
+// per-row slices in reference mode), the right-hand sides, the basis
+// and row-state vectors and the restore/scratch bookkeeping. The
+// estimate ignores fixed struct overhead and allocator rounding — it
+// exists to give memoized warm systems a cost for LRU eviction
+// budgets (core.EngineOptions.MaxArtifactBytes), where relative
+// consistency matters and byte exactness does not.
+func (s *Simplex) MemBytes() int64 {
+	const (
+		wordBytes        = 8
+		sliceHeaderBytes = 24
+	)
+	b := int64(cap(s.rows)) * sliceHeaderBytes
+	if s.backing != nil {
+		// Compacted: every row aliases the backing array; counting the
+		// rows' caps would double-count it.
+		b += int64(cap(s.backing)) * wordBytes
+	} else {
+		for _, row := range s.rows {
+			b += int64(cap(row)) * wordBytes
+		}
+	}
+	b += int64(cap(s.rhs)) * wordBytes
+	b += int64(cap(s.basis)) * wordBytes
+	b += int64(cap(s.active)) + int64(cap(s.barred)) + int64(cap(s.dirty))
+	b += int64(cap(s.dirtyRows)) * wordBytes
+	b += int64(cap(s.nz)) * wordBytes
+	return b
+}

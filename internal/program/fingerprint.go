@@ -1,0 +1,68 @@
+package program
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a stable content hash of the assembled program:
+// the CFG, instruction layout, data accesses and loop bounds — every
+// input the analyses consume — but not the name. Two programs with
+// equal fingerprints are analysis-equivalent (identical pWCET pipeline
+// inputs), so the fingerprint is a sound memoization key for sharing a
+// warm analysis engine across requests that name the same program
+// (internal/serve's engine pool). Programs are immutable after Build,
+// so the fingerprint never changes.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	fpInt(h, int64(p.Entry))
+	fpInt(h, int64(p.Exit))
+	fpInt(h, int64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		fpInt(h, int64(b.ID))
+		fpInt(h, int64(b.Addr))
+		fpInt(h, int64(b.NumInstr))
+		fpInt(h, int64(b.Loop))
+		fpInt(h, int64(len(b.Data)))
+		for _, d := range b.Data {
+			fpInt(h, int64(d.Index))
+			fpInt(h, int64(d.Addr))
+			if d.Store {
+				fpInt(h, 1)
+			} else {
+				fpInt(h, 0)
+			}
+		}
+		fpInt(h, int64(len(b.Succs)))
+		for _, s := range b.Succs {
+			fpInt(h, int64(s))
+		}
+	}
+	fpInt(h, int64(len(p.Loops)))
+	for _, l := range p.Loops {
+		fpInt(h, int64(l.ID))
+		fpInt(h, int64(l.Header))
+		fpInt(h, l.Bound)
+		fpInt(h, int64(l.Parent))
+		fpInt(h, int64(l.BodySucc))
+		fpInt(h, int64(l.ExitSucc))
+		fpInt(h, int64(len(l.Back)))
+		for _, e := range l.Back {
+			fpInt(h, int64(e.From))
+			fpInt(h, int64(e.To))
+		}
+		fpInt(h, int64(len(l.Blocks)))
+		for _, b := range l.Blocks {
+			fpInt(h, int64(b))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func fpInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}

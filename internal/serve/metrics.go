@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// numLatencyBuckets counts the bounded buckets of latencyBuckets; one
+// more unbounded overflow bucket follows them.
+const numLatencyBuckets = 21
+
+// latencyBuckets are the upper bounds (exclusive) of the latency
+// histogram, exponential from 100µs to ~105s; the last bucket is
+// unbounded. Chosen to straddle the measured per-query analysis times
+// (tens of microseconds for warm engines, tens of milliseconds cold).
+var latencyBuckets = [numLatencyBuckets]time.Duration{
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	400 * time.Microsecond,
+	800 * time.Microsecond,
+	1600 * time.Microsecond,
+	3200 * time.Microsecond,
+	6400 * time.Microsecond,
+	12800 * time.Microsecond,
+	25600 * time.Microsecond,
+	51200 * time.Microsecond,
+	102400 * time.Microsecond,
+	204800 * time.Microsecond,
+	409600 * time.Microsecond,
+	819200 * time.Microsecond,
+	1638400 * time.Microsecond,
+	3276800 * time.Microsecond,
+	6553600 * time.Microsecond,
+	13107200 * time.Microsecond,
+	26214400 * time.Microsecond,
+	52428800 * time.Microsecond,
+	104857600 * time.Microsecond,
+}
+
+// histogram is a fixed-bucket latency histogram. Safe for concurrent
+// use.
+type histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	buckets [numLatencyBuckets + 1]uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBuckets) && d >= latencyBuckets[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += d
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// histogramBucket is one rendered histogram bucket: the inclusive
+// upper bound in milliseconds (0 marks the unbounded overflow bucket)
+// and the number of observations that fell under it.
+type histogramBucket struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    uint64  `json:"count"`
+}
+
+// histogramJSON is the rendered form of a histogram. Buckets with zero
+// observations are omitted to keep /metrics readable.
+type histogramJSON struct {
+	Count    uint64            `json:"count"`
+	SumMs    float64           `json:"sum_ms"`
+	MeanMs   float64           `json:"mean_ms"`
+	Nonempty []histogramBucket `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() histogramJSON {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := histogramJSON{Count: h.count, SumMs: float64(h.sum) / float64(time.Millisecond)}
+	if h.count > 0 {
+		out.MeanMs = out.SumMs / float64(h.count)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := histogramBucket{Count: c}
+		if i < len(latencyBuckets) {
+			b.LEMillis = float64(latencyBuckets[i]) / float64(time.Millisecond)
+		}
+		out.Nonempty = append(out.Nonempty, b)
+	}
+	return out
+}
+
+// counter is a mutex-guarded uint64 counter (contention here is
+// trivial next to the analyses the requests run).
+type counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *counter) add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+func (c *counter) get() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// metrics aggregates the server's observability counters, exposed as
+// JSON by the /metrics handler.
+type metrics struct {
+	requests          counter // HTTP requests accepted by any handler
+	rejectedAuth      counter // 401s
+	rejectedRate      counter // 429s
+	rejectedSpec      counter // 400/413s (malformed or oversized specs)
+	rejectedDraining  counter // 503s during drain
+	batches           counter // batch requests that started streaming
+	batchErrors       counter // batches terminated by an analysis error or timeout
+	rowsStreamed      counter // NDJSON result rows written
+	clientDisconnects counter // batches cut short by the client
+
+	specParse    histogram // spec decode+validate latency
+	enginePrep   histogram // pool acquire latency (cold = engine build)
+	rowLatency   histogram // per-row latency, request start to row write
+	batchLatency histogram // whole-batch latency, request start to last row
+}
+
+// metricsJSON is the /metrics response body.
+type metricsJSON struct {
+	Requests          uint64 `json:"requests"`
+	RejectedAuth      uint64 `json:"rejected_auth"`
+	RejectedRate      uint64 `json:"rejected_rate_limit"`
+	RejectedSpec      uint64 `json:"rejected_spec"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
+	Batches           uint64 `json:"batches"`
+	BatchErrors       uint64 `json:"batch_errors"`
+	RowsStreamed      uint64 `json:"rows_streamed"`
+	ClientDisconnects uint64 `json:"client_disconnects"`
+
+	Pool PoolStats `json:"engine_pool"`
+
+	SpecParse    histogramJSON `json:"spec_parse_latency"`
+	EnginePrep   histogramJSON `json:"engine_prep_latency"`
+	RowLatency   histogramJSON `json:"row_latency"`
+	BatchLatency histogramJSON `json:"batch_latency"`
+}
+
+func (m *metrics) snapshot(pool PoolStats) metricsJSON {
+	return metricsJSON{
+		Requests:          m.requests.get(),
+		RejectedAuth:      m.rejectedAuth.get(),
+		RejectedRate:      m.rejectedRate.get(),
+		RejectedSpec:      m.rejectedSpec.get(),
+		RejectedDraining:  m.rejectedDraining.get(),
+		Batches:           m.batches.get(),
+		BatchErrors:       m.batchErrors.get(),
+		RowsStreamed:      m.rowsStreamed.get(),
+		ClientDisconnects: m.clientDisconnects.get(),
+		Pool:              pool,
+		SpecParse:         m.specParse.snapshot(),
+		EnginePrep:        m.enginePrep.snapshot(),
+		RowLatency:        m.rowLatency.snapshot(),
+		BatchLatency:      m.batchLatency.snapshot(),
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+// PoolOptions configures the engine pool.
+type PoolOptions struct {
+	// MaxEngines bounds the number of resident engines; when a new
+	// engine would exceed it, the least-recently-used unreferenced
+	// engine is evicted whole (its memoized artifacts recompute on the
+	// next request for that program). <= 0 keeps every engine resident.
+	MaxEngines int
+	// MaxArtifactBytes is the per-engine artifact byte budget
+	// (EngineOptions.MaxArtifactBytes) applied to every pooled engine.
+	// <= 0 leaves each engine unbounded — only safe together with a
+	// MaxEngines bound and a bounded program population.
+	MaxArtifactBytes int64
+}
+
+// poolKey identifies a shareable warm engine: the program's content
+// fingerprint plus the engine options that change behavior or
+// scheduling. Two requests naming byte-identical programs with the
+// same options share one engine; artifact memoization then makes the
+// second request cheap.
+type poolKey struct {
+	fingerprint string
+	workers     int
+	exact       bool
+}
+
+type poolEntry struct {
+	key  poolKey
+	eng  *core.Engine
+	refs int    // in-flight batches using this engine
+	seq  uint64 // last-use stamp for LRU eviction
+}
+
+// Handle is a leased engine. Callers must Release it when the batch is
+// done — including batches cut short by a client disconnect — or the
+// entry stays pinned in the pool forever.
+type Handle struct {
+	pool  *Pool
+	entry *poolEntry
+}
+
+// Engine returns the leased engine. Valid until Release, and safe to
+// keep using even if the pool evicts the entry mid-batch (eviction
+// only drops the pool's reference; the engine object keeps working).
+func (h *Handle) Engine() *core.Engine { return h.entry.eng }
+
+// Release returns the lease. Idempotent calls are a bug (the refcount
+// would go negative), so callers release exactly once.
+func (h *Handle) Release() {
+	p := h.pool
+	p.mu.Lock()
+	h.entry.refs--
+	p.evictLocked()
+	p.mu.Unlock()
+}
+
+// Pool shares warm analysis engines across requests, keyed by program
+// fingerprint. Engines are expensive to build (IPET system
+// construction) and accumulate valuable memoized artifacts, so the
+// service reuses them; MaxEngines bounds how many stay resident and
+// MaxArtifactBytes bounds what each one retains. Safe for concurrent
+// use.
+type Pool struct {
+	opt PoolOptions
+
+	mu        sync.Mutex
+	engines   map[poolKey]*poolEntry
+	seq       uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewPool builds an empty engine pool.
+func NewPool(opt PoolOptions) *Pool {
+	return &Pool{opt: opt, engines: make(map[poolKey]*poolEntry)}
+}
+
+// Acquire leases the pool's engine for the program under the given
+// options, building one on first use. The options' MaxArtifactBytes is
+// overridden by the pool's per-engine budget.
+func (p *Pool) Acquire(prog *program.Program, opt core.EngineOptions) (*Handle, error) {
+	key := poolKey{fingerprint: prog.Fingerprint(), workers: opt.Workers, exact: opt.ExactConvolve}
+
+	p.mu.Lock()
+	if e, ok := p.engines[key]; ok {
+		e.refs++
+		p.seq++
+		e.seq = p.seq
+		p.hits++
+		p.mu.Unlock()
+		return &Handle{pool: p, entry: e}, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	// Build outside the lock: engine construction verifies the program
+	// and assembles the IPET system, which must not block unrelated
+	// acquires. Two concurrent misses on the same key may both build;
+	// the loser's engine is discarded below — wasted work, never wrong
+	// results.
+	opt.MaxArtifactBytes = p.opt.MaxArtifactBytes
+	eng, err := core.NewEngine(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.engines[key]; ok {
+		e.refs++
+		p.seq++
+		e.seq = p.seq
+		p.hits++
+		return &Handle{pool: p, entry: e}, nil
+	}
+	p.seq++
+	e := &poolEntry{key: key, eng: eng, refs: 1, seq: p.seq}
+	p.engines[key] = e
+	p.evictLocked()
+	return &Handle{pool: p, entry: e}, nil
+}
+
+// evictLocked evicts least-recently-used unreferenced engines until
+// the pool fits MaxEngines. Entries with in-flight batches are never
+// evicted; the pool may therefore transiently exceed the bound.
+func (p *Pool) evictLocked() {
+	if p.opt.MaxEngines <= 0 {
+		return
+	}
+	for len(p.engines) > p.opt.MaxEngines {
+		var victim *poolEntry
+		//pwcetlint:ordered selects the minimum-seq unreferenced entry; min over disjoint entries is order-independent (seq stamps are unique)
+		for _, e := range p.engines {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.seq < victim.seq {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(p.engines, victim.key)
+		p.evictions++
+	}
+}
+
+// PoolStats is a snapshot of the pool, embedded in /metrics.
+type PoolStats struct {
+	// Engines is the number of resident engines; MaxEngines echoes the
+	// configured bound (0 = unbounded).
+	Engines    int `json:"engines"`
+	MaxEngines int `json:"max_engines"`
+	// Hits and Misses count Acquire calls that found / had to build an
+	// engine; Evictions counts whole engines dropped under pressure.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// ArtifactBytes is the estimated resident memoized-artifact bytes
+	// summed over all pooled engines (each engine's MemStats);
+	// MaxArtifactBytes echoes the per-engine budget.
+	ArtifactBytes    int64 `json:"artifact_bytes"`
+	MaxArtifactBytes int64 `json:"max_artifact_bytes_per_engine"`
+	// ArtifactEvictions sums the per-engine artifact eviction counts —
+	// the churn MaxArtifactBytes causes inside resident engines.
+	ArtifactEvictions uint64 `json:"artifact_evictions"`
+}
+
+// Stats returns a consistent snapshot of the pool counters and the
+// summed artifact residency of its engines.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		Engines:          len(p.engines),
+		MaxEngines:       p.opt.MaxEngines,
+		Hits:             p.hits,
+		Misses:           p.misses,
+		Evictions:        p.evictions,
+		MaxArtifactBytes: p.opt.MaxArtifactBytes,
+	}
+	//pwcetlint:ordered commutative sums over all resident engines; addition of integers is order-independent
+	for _, e := range p.engines {
+		ms := e.eng.MemStats()
+		st.ArtifactBytes += ms.ArtifactBytes
+		st.ArtifactEvictions += ms.Evictions
+	}
+	return st
+}

@@ -66,6 +66,23 @@
 // validate the fast paths, which the differential suites pin
 // byte-identical (exactly, or whenever the support cap does not
 // bind, respectively).
+//
+// # Bounded memory and serving
+//
+// By default an Engine retains every memoized artifact for its
+// lifetime. Long-lived processes sweeping many cache geometries set
+// EngineOptions.MaxArtifactBytes to bound the resident estimated
+// bytes: artifacts are tracked on an LRU list and cold ones are
+// evicted once the budget is exceeded. Because every artifact is a
+// pure function of its key, eviction never changes results — a
+// re-query recomputes byte-identical values and only costs time.
+// Engine.MemStats reports residency and hit/miss/eviction counters.
+//
+// cmd/pwcetd builds on this: an HTTP service streaming batch results
+// as NDJSON (byte-identical to cmd/pwcet -batch -ndjson) from a
+// bounded pool of per-program engines, with API-key auth, rate
+// limits, JSON metrics and graceful drain; internal/serve holds the
+// testable handler layer.
 package pwcet
 
 import (
@@ -86,9 +103,12 @@ type (
 	// queries only pay for the cheap probability weighting. Safe for
 	// concurrent use; results are byte-identical to one-shot Analyze.
 	Engine = core.Engine
-	// EngineOptions configures an Engine (worker pool, instrumentation
-	// hook).
+	// EngineOptions configures an Engine (worker pool, artifact memory
+	// budget, instrumentation hook).
 	EngineOptions = core.EngineOptions
+	// MemStats reports an Engine's memoized-artifact residency and
+	// lookup counters; see Engine.MemStats.
+	MemStats = core.MemStats
 	// Query selects one configuration (cache, pfail, mechanism, target)
 	// to analyze against an Engine's program.
 	Query = core.Query
