@@ -418,3 +418,39 @@ func BenchmarkAnalyze256(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAnalyzeTransient256 is the pure-SEU pipeline on the 256-set
+// cache: per-set hit-bound ILPs instead of the FMM, then the binomial
+// materialization and convolution of 256 extra-miss distributions
+// (serial, for the same algorithmic-cost tracking as Analyze256).
+func BenchmarkAnalyzeTransient256(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	cfg.Sets = 256
+	for i := 0; i < b.N; i++ {
+		opt := pwcet.Options{Cache: cfg, Scenario: pwcet.Transient{Lambda: 1e-9}, Workers: 1}
+		if _, err := pwcet.Analyze(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeCombined256 runs both fault stages end to end on the
+// 256-set cache: the full permanent FMM/penalty machinery plus the
+// transient hit-bound and binomial stage folded on top — the cost
+// ceiling of the scenario layer.
+func BenchmarkAnalyzeCombined256(b *testing.B) {
+	p := malardalen.MustGet("adpcm")
+	cfg := cache.PaperConfig()
+	cfg.Sets = 256
+	for i := 0; i < b.N; i++ {
+		opt := pwcet.Options{
+			Cache:    cfg,
+			Scenario: pwcet.Combined{Pfail: 1e-4, Lambda: 1e-9},
+			Workers:  1,
+		}
+		if _, err := pwcet.Analyze(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,8 @@
 //	pwcet -all
 //	pwcet -bench adpcm
 //	pwcet -bench matmult -mech all -pfail 1e-3
+//	pwcet -bench crc -fault-model transient -lambda 1e-10
+//	pwcet -bench crc -fault-model combined -pfail 1e-4 -lambda 1e-10
 //	pwcet -bench crc -mech srb -curve
 //	pwcet -bench crc -mech srb -curve -json
 //	pwcet -bench bs -mech rw -fmm
@@ -24,7 +26,9 @@
 //
 //	{
 //	  "benchmarks": ["adpcm", "crc"],          // omitted = whole suite
-//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // required, non-empty
+//	  "fault_model": "permanent",              // or "transient", "combined"
+//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // permanent/combined: required
+//	  "lambdas": [1e-12, 1e-10],               // transient/combined: required
 //	  "mechanisms": ["none", "rw", "srb"],     // omitted = all three
 //	  "targets": [1e-15],                      // omitted = [1e-15]
 //	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
@@ -34,6 +38,11 @@
 //	  "exact_convolve": false,                 // exact convolution fold (escape hatch)
 //	  "workers": 0                             // 0/omitted = the -workers flag
 //	}
+//
+// The fault_model gates the parameter axes strictly: permanent sweeps
+// must not set lambdas, transient sweeps must not set pfails, combined
+// sweeps must set both. The single-benchmark modes expose the same
+// axis through -fault-model and -lambda.
 //
 // -ndjson streams one compact JSON row per line as benchmarks finish —
 // byte-identical to the NDJSON stream pwcetd serves for the same spec.
@@ -82,7 +91,9 @@ type config struct {
 	bench      string
 	batch      string
 	mechs      []pwcet.Mechanism
+	faultModel pwcet.ScenarioKind
 	pfail      float64
+	lambda     float64
 	target     float64
 	coarsen    pwcet.CoarsenStrategy
 	workers    int
@@ -96,6 +107,22 @@ type config struct {
 	validate   int
 	cpuprofile string
 	memprofile string
+}
+
+// scenario returns the explicit fault scenario of the command line, or
+// nil for the permanent model — the legacy Pfail spelling, which keeps
+// permanent runs byte-identical to the pre-scenario CLI.
+func (c *config) scenario() pwcet.Scenario {
+	switch c.faultModel {
+	case pwcet.ScenarioPermanent:
+		return nil
+	case pwcet.ScenarioTransient:
+		return pwcet.Transient{Lambda: c.lambda}
+	case pwcet.ScenarioCombined:
+		return pwcet.Combined{Pfail: c.pfail, Lambda: c.lambda}
+	default:
+		panic(fmt.Sprintf("pwcet: unhandled fault model %v", c.faultModel))
+	}
 }
 
 // parseFlags parses and validates the command line. It returns a usage
@@ -112,7 +139,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&c.bench, "bench", "", "benchmark name (see -list)")
 	fs.StringVar(&c.batch, "batch", "", "JSON sweep specification file (see package doc)")
 	fs.StringVar(&mech, "mech", "all", "reliability mechanism: none, rw, srb or all")
-	fs.Float64Var(&c.pfail, "pfail", 1e-4, "per-bit permanent failure probability, in [0,1]")
+	var faultModel string
+	fs.StringVar(&faultModel, "fault-model", "permanent", "fault scenario: permanent, transient or combined")
+	fs.Float64Var(&c.pfail, "pfail", 1e-4, "per-bit permanent failure probability, in [0,1] (permanent and combined models)")
+	fs.Float64Var(&c.lambda, "lambda", 0, "per-line per-cycle SEU rate, >= 0 (transient and combined models)")
 	fs.Float64Var(&c.target, "target", 1e-15, "target exceedance probability, in (0,1)")
 	var coarsen string
 	fs.StringVar(&coarsen, "coarsen", "least-error", "support-cap coarsening strategy: least-error or keep-heaviest")
@@ -145,6 +175,22 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if c.pfail < 0 || c.pfail > 1 || math.IsNaN(c.pfail) {
 		return nil, usage("-pfail %g outside [0,1]", c.pfail)
 	}
+	if c.lambda < 0 || math.IsNaN(c.lambda) || math.IsInf(c.lambda, 0) {
+		return nil, usage("-lambda %g must be a finite rate >= 0", c.lambda)
+	}
+	fm, err := pwcet.ParseScenarioKind(faultModel)
+	if err != nil {
+		return nil, usage("%v", err)
+	}
+	c.faultModel = fm
+	// Each fault model owns exactly its parameter axes: an explicitly
+	// set flag along a missing axis would be silently meaningless.
+	if c.faultModel == pwcet.ScenarioPermanent && explicit["lambda"] {
+		return nil, usage("-lambda requires -fault-model transient or combined")
+	}
+	if c.faultModel == pwcet.ScenarioTransient && explicit["pfail"] {
+		return nil, usage("-pfail is meaningless with -fault-model transient")
+	}
 	if c.target <= 0 || c.target >= 1 || math.IsNaN(c.target) {
 		return nil, usage("-target %g outside (0,1)", c.target)
 	}
@@ -154,7 +200,6 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if c.validate < 0 {
 		return nil, usage("-validate %d is negative", c.validate)
 	}
-	var err error
 	if c.coarsen, err = pwcet.ParseCoarsenStrategy(coarsen); err != nil {
 		return nil, usage("%v", err)
 	}
@@ -202,7 +247,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		if c.batch != "" {
 			// The sweep specification owns these axes; silently dropping
 			// an explicit flag would mislead.
-			for _, name := range []string{"pfail", "target", "mech", "coarsen", "exact-convolve"} {
+			for _, name := range []string{"fault-model", "pfail", "lambda", "target", "mech", "coarsen", "exact-convolve"} {
 				if explicit[name] {
 					return nil, usage("-%s cannot be combined with -batch (set it in the spec)", name)
 				}
@@ -218,6 +263,20 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if _, err := pwcet.Benchmark(c.bench); err != nil {
 		return nil, usage("%v (see -list)", err)
+	}
+	if c.faultModel != pwcet.ScenarioPermanent {
+		// The precise SRB mixture and the Monte-Carlo validator model
+		// permanent fault maps only; a pure transient run has no fault
+		// miss map to print.
+		if c.precise {
+			return nil, usage("-precise requires the permanent fault model")
+		}
+		if c.validate > 0 {
+			return nil, usage("-validate requires the permanent fault model")
+		}
+		if c.fmm && c.faultModel == pwcet.ScenarioTransient {
+			return nil, usage("-fmm is meaningless with -fault-model transient (no permanent component)")
+		}
 	}
 	if c.jsonOut {
 		// The JSON report carries the analysis results and optional
@@ -313,6 +372,8 @@ type benchJSON struct {
 	Cache         batchspec.Cache `json:"cache"`
 	Pfail         float64         `json:"pfail"`
 	PBF           float64         `json:"pbf"`
+	FaultModel    string          `json:"fault_model,omitempty"`
+	Lambda        float64         `json:"lambda,omitempty"`
 	Target        float64         `json:"target"`
 	Coarsen       string          `json:"coarsen"`
 	ExactConvolve bool            `json:"exact_convolve"`
@@ -350,13 +411,18 @@ func analyzeBench(stdout io.Writer, c *config) error {
 	}
 	queries := make([]pwcet.Query, len(c.mechs))
 	for i, m := range c.mechs {
-		queries[i] = pwcet.Query{
-			Pfail:            c.pfail,
+		q := pwcet.Query{
 			Mechanism:        m,
 			TargetExceedance: c.target,
 			Coarsen:          c.coarsen,
 			PreciseSRB:       c.precise && m == pwcet.SRB,
 		}
+		if scn := c.scenario(); scn != nil {
+			q.Scenario = scn
+		} else {
+			q.Pfail = c.pfail
+		}
+		queries[i] = q
 	}
 	batch, err := eng.AnalyzeBatch(queries)
 	if err != nil {
@@ -376,7 +442,11 @@ func analyzeBench(stdout io.Writer, c *config) error {
 		c.bench, p.CodeBytes(), len(p.Blocks), len(p.Loops))
 	fmt.Fprintf(stdout, "cache: %dB, %d sets x %d ways x %dB lines; pfail=%g (pbf=%.4g); target=%g\n",
 		first.Options.Cache.SizeBytes(), first.Options.Cache.Sets, first.Options.Cache.Ways,
-		first.Options.Cache.BlockBytes, c.pfail, first.Model.PBF, c.target)
+		first.Options.Cache.BlockBytes, first.Model.Pfail, first.Model.PBF, c.target)
+	if c.faultModel != pwcet.ScenarioPermanent {
+		fmt.Fprintf(stdout, "fault model: %s; lambda=%g upsets/line/cycle (window=%d cycles, per-access p=%.4g)\n",
+			first.Scenario, c.lambda, first.Transient.Window, first.Transient.PMiss)
+	}
 	fmt.Fprintf(stdout, "references: %d always-hit, %d first-miss, %d always-miss/not-classified\n",
 		first.HitRefs, first.FMRefs, first.MissRefs)
 
@@ -432,7 +502,7 @@ func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*co
 	rep := benchJSON{
 		Benchmark:     c.bench,
 		Cache:         batchspec.FromConfig(first.Options.Cache),
-		Pfail:         c.pfail,
+		Pfail:         first.Model.Pfail,
 		PBF:           first.Model.PBF,
 		Target:        c.target,
 		Coarsen:       c.coarsen.String(),
@@ -440,6 +510,10 @@ func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*co
 		HitRefs:       first.HitRefs,
 		FMRefs:        first.FMRefs,
 		MissRefs:      first.MissRefs,
+	}
+	if c.faultModel != pwcet.ScenarioPermanent {
+		rep.FaultModel = c.faultModel.String()
+		rep.Lambda = c.lambda
 	}
 	for _, m := range c.mechs {
 		r := results[m]
@@ -535,10 +609,16 @@ func analyzeAll(stdout io.Writer, c *config) error {
 	fmt.Fprintln(tw, "benchmark\tcode B\tfault-free\tnone\tsrb\trw\tgain srb\tgain rw\t")
 	for _, name := range pwcet.Benchmarks() {
 		p := malardalen.MustGet(name)
-		results, err := pwcet.AnalyzeAll(p, pwcet.Options{
-			Pfail: c.pfail, TargetExceedance: c.target, Workers: c.workers,
+		opt := pwcet.Options{
+			TargetExceedance: c.target, Workers: c.workers,
 			ExactConvolve: c.exact,
-		})
+		}
+		if scn := c.scenario(); scn != nil {
+			opt.Scenario = scn
+		} else {
+			opt.Pfail = c.pfail
+		}
+		results, err := pwcet.AnalyzeAll(p, opt)
 		if err != nil {
 			return err
 		}

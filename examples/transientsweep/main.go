@@ -1,0 +1,91 @@
+// Transientsweep: combined permanent + transient (SEU) exceedance
+// curves across the fault-model grid.
+//
+// The paper's model covers permanent faults fixed at boot; this example
+// layers the per-access transient-upset extension on top and sweeps
+// both axes at once — the per-bit permanent failure probability pfail
+// and the SEU rate lambda (upsets per cycle per vulnerable access) —
+// for every mitigation mechanism. Each (pfail, lambda) point is a
+// fault.Combined scenario: the permanent penalty distribution is
+// convolved with a sound binomial bound on the extra misses that upsets
+// inject into hit-classified accesses during one run.
+//
+// The sweep runs as one Engine batch: every grid point shares the cache
+// fixpoints, the IPET system, the per-set FMM ILPs of the permanent
+// stage and the per-set hit-bound ILPs of the transient stage — only
+// the probability weighting and the convolutions differ per point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	pwcet "repro"
+)
+
+func main() {
+	bench := "crc"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	p, err := pwcet.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// pfail spans the resilience roadmap (45nm to low-voltage 12nm);
+	// lambda spans negligible space radiation to harsh avionics rates.
+	pfails := []float64{0, 1e-6, 1e-4, 1e-3}
+	lambdas := []float64{0, 1e-12, 1e-10, 1e-9}
+	mechs := []pwcet.Mechanism{pwcet.None, pwcet.RW, pwcet.SRB}
+
+	var queries []pwcet.Query
+	for _, pf := range pfails {
+		for _, la := range lambdas {
+			for _, m := range mechs {
+				queries = append(queries, pwcet.Query{
+					Scenario:  pwcet.Combined{Pfail: pf, Lambda: la},
+					Mechanism: m,
+				})
+			}
+		}
+	}
+	results, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Printf("combined pWCET at 1e-15 for %s (cycles):\n\n", bench)
+	fmt.Fprintln(tw, "pfail\tlambda\tnone\trw\tsrb\tgain srb\t")
+	for i := 0; i < len(results); i += len(mechs) {
+		none, rw, srb := results[i], results[i+1], results[i+2]
+		pf, la := pwcet.Components(none.Scenario)
+		fmt.Fprintf(tw, "%.2g\t%.2g\t%d\t%d\t%d\t%.0f%%\t\n",
+			pf, la, none.PWCET, rw.PWCET, srb.PWCET,
+			100*pwcet.Gain(none, srb))
+	}
+	tw.Flush()
+
+	// One full exceedance curve: the harshest grid point, unprotected.
+	worst := results[len(results)-3]
+	pf, la := pwcet.Components(worst.Scenario)
+	tm := worst.Transient
+	fmt.Printf("\nexceedance curve at pfail=%.2g lambda=%.2g (none), window=%d cycles, per-access upset p=%.3g:\n",
+		pf, la, tm.Window, tm.PMiss)
+	for _, q := range []float64{1e-3, 1e-6, 1e-9, 1e-12, 1e-15} {
+		fmt.Printf("  P(exceed) <= %-6.0e  at %d cycles\n", q, worst.PWCETAt(q))
+	}
+
+	fmt.Println("\nreading: the lambda=0 row reproduces the pure permanent analysis and")
+	fmt.Println("the pfail=0 rows the pure transient one; in between, permanent faults")
+	fmt.Println("dominate the deep tail (they persist for the whole run) while the")
+	fmt.Println("transient stage adds a rate-driven penalty that no boot-time")
+	fmt.Println("mitigation mechanism can mask.")
+}

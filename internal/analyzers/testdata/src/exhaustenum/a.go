@@ -113,3 +113,54 @@ func suppressed(c Color) string {
 	}
 	return ""
 }
+
+// FaultKind mirrors the fault-scenario kind enum: a contiguous iota
+// block that dispatch code switches over. The analyzer must auto-detect
+// it like any other enum.
+type FaultKind int
+
+const (
+	KindPermanent FaultKind = iota
+	KindTransient
+	KindCombined
+)
+
+// scenarioDispatch is the blessed shape of the scenario layer's
+// Components/scenarioOf dispatchers: every kind handled, plus a
+// panicking default for values outside the enum — not flagged.
+func scenarioDispatch(k FaultKind) (pfail, lambda bool) {
+	switch k {
+	case KindPermanent:
+		return true, false
+	case KindTransient:
+		return false, true
+	case KindCombined:
+		return true, true
+	default:
+		panic("unhandled fault kind")
+	}
+}
+
+// scenarioSilentDefault is the bug the analyzer exists to catch in
+// scenario dispatch: adding a fourth kind would silently analyze it as
+// permanent instead of stopping — flagged.
+func scenarioSilentDefault(k FaultKind) bool {
+	switch k { // want `switch over FaultKind is not exhaustive \(missing KindPermanent, KindCombined\) and its default does not panic`
+	case KindTransient:
+		return true
+	default:
+		return false
+	}
+}
+
+// scenarioMissingKind: a dispatcher that forgot the newest kind and has
+// no default at all — flagged.
+func scenarioMissingKind(k FaultKind) string {
+	switch k { // want `switch over FaultKind is not exhaustive \(missing KindCombined\) and has no default`
+	case KindPermanent:
+		return "permanent"
+	case KindTransient:
+		return "transient"
+	}
+	return ""
+}

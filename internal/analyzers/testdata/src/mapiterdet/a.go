@@ -135,3 +135,30 @@ func suppressed(m map[string]*holder, set map[int]bool) {
 		h.collectSelector(set)
 	}
 }
+
+// scenario mirrors the comparable fault-scenario structs that key
+// memoized sweep results: struct-keyed maps get no free pass.
+type scenario struct {
+	pfail, lambda float64
+}
+
+// memoizeByScenario stores keyed by exactly the iteration key: distinct
+// scenarios write distinct entries — proven.
+func memoizeByScenario(results map[scenario]int) map[scenario]int64 {
+	out := make(map[scenario]int64, len(results))
+	for s, v := range results {
+		out[s] = int64(v)
+	}
+	return out
+}
+
+// emitScenarioRows appends sweep rows straight out of a scenario-keyed
+// map: the output row order is nondeterministic — flagged. Sweep
+// emitters must iterate the ordered query grid, not the memo table.
+func emitScenarioRows(results map[scenario]int) []int {
+	var rows []int
+	for _, v := range results { // want `iteration over map results has nondeterministic order`
+		rows = append(rows, v)
+	}
+	return rows
+}

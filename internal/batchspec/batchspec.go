@@ -2,15 +2,17 @@
 // format shared by cmd/pwcet -batch and the pwcetd analysis service
 // (internal/serve). Both front ends parse the same wire format with the
 // same validation and expand it to the same query grid — benchmarks
-// outermost, then pfails x mechanisms x targets — so a sweep streamed
-// by the service is byte-identical, row for row, to the same sweep run
-// through the CLI.
+// outermost, then pfails x lambdas x mechanisms x targets — so a sweep
+// streamed by the service is byte-identical, row for row, to the same
+// sweep run through the CLI.
 //
 // The specification is a single JSON object:
 //
 //	{
 //	  "benchmarks": ["adpcm", "crc"],          // omitted = whole suite
-//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // required, non-empty
+//	  "fault_model": "permanent",              // or "transient", "combined"
+//	  "pfails": [1e-6, 1e-5, 1e-4, 1e-3],      // permanent/combined: required
+//	  "lambdas": [1e-12, 1e-10],               // transient/combined: required
 //	  "mechanisms": ["none", "rw", "srb"],     // omitted = all three
 //	  "targets": [1e-15],                      // omitted = [1e-15]
 //	  "cache": {"sets": 16, "ways": 4, "block_bytes": 16,
@@ -20,6 +22,14 @@
 //	  "exact_convolve": false,                 // exact convolution fold
 //	  "workers": 0                             // 0/omitted = caller's default
 //	}
+//
+// fault_model selects the sweep's fault scenario family (default
+// "permanent", the paper's boot-time model). It gates the two
+// parameter axes strictly: a permanent sweep must not set lambdas, a
+// transient sweep must not set pfails, and a combined sweep must set
+// both — a sweep can never silently analyze a default along an axis
+// the model does not have. Unknown spec fields are rejected with an
+// error naming the offending key, so a typo like "lamda" fails loudly.
 package batchspec
 
 import (
@@ -27,10 +37,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/malardalen"
 )
 
@@ -59,7 +71,9 @@ func FromConfig(c cache.Config) Cache {
 // specJSON is the wire format of the sweep specification.
 type specJSON struct {
 	Benchmarks    []string  `json:"benchmarks"`
+	FaultModel    string    `json:"fault_model"`
 	Pfails        []float64 `json:"pfails"`
+	Lambdas       []float64 `json:"lambdas"`
 	Mechanisms    []string  `json:"mechanisms"`
 	Targets       []float64 `json:"targets"`
 	Cache         *Cache    `json:"cache"`
@@ -69,15 +83,25 @@ type specJSON struct {
 	Workers       int       `json:"workers"`
 }
 
+// specFields lists the known wire fields, quoted by the unknown-field
+// error so a typo'd spec shows what would have been accepted.
+const specFields = "benchmarks, fault_model, pfails, lambdas, mechanisms, targets, cache, max_support, coarsen, exact_convolve, workers"
+
 // Spec is a parsed and validated sweep specification. Every field is
 // fully resolved: defaults applied, names verified, enums parsed.
 type Spec struct {
 	// Benchmarks are the suite benchmarks to sweep, in specification
 	// order (the whole suite when the spec omitted them).
 	Benchmarks []string
-	// Pfails, Mechanisms and Targets span the per-benchmark query grid,
-	// expanded in that nesting order by Queries.
+	// FaultModel is the sweep's fault scenario family. It gates which
+	// of the Pfails/Lambdas axes the spec populates: permanent sweeps
+	// have no Lambdas, transient sweeps no Pfails, combined sweeps
+	// both.
+	FaultModel fault.Kind
+	// Pfails, Lambdas, Mechanisms and Targets span the per-benchmark
+	// query grid, expanded in that nesting order by Queries.
 	Pfails     []float64
+	Lambdas    []float64
 	Mechanisms []cache.Mechanism
 	Targets    []float64
 	// Cache is the geometry of every query; the zero value selects the
@@ -103,23 +127,55 @@ func Parse(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&wire); err != nil {
+		// encoding/json reports unknown fields as `json: unknown field
+		// "lamda"`; rewrite that into an error that names the key as a
+		// spec problem and shows the accepted fields.
+		if name, ok := unknownFieldName(err); ok {
+			return nil, fmt.Errorf("unknown field %q in spec (known fields: %s)", name, specFields)
+		}
 		return nil, err
 	}
 	if dec.More() {
 		return nil, fmt.Errorf("trailing data after the specification object")
 	}
 
-	if len(wire.Pfails) == 0 {
-		return nil, fmt.Errorf("pfails must be non-empty")
+	kind := fault.KindPermanent
+	if wire.FaultModel != "" {
+		var err error
+		if kind, err = fault.ParseKind(wire.FaultModel); err != nil {
+			return nil, err
+		}
+	}
+	// The fault model strictly gates the two parameter axes: the spec
+	// must populate exactly the axes the model has, so a sweep can
+	// never silently run a default along a missing axis.
+	needPfails := kind != fault.KindTransient
+	needLambdas := kind != fault.KindPermanent
+	switch {
+	case needPfails && len(wire.Pfails) == 0:
+		return nil, fmt.Errorf("pfails must be non-empty for fault_model %q", kind)
+	case !needPfails && len(wire.Pfails) > 0:
+		return nil, fmt.Errorf("pfails are meaningless for fault_model %q (only permanent and combined sweeps have a pfail axis)", kind)
+	case needLambdas && len(wire.Lambdas) == 0:
+		return nil, fmt.Errorf("lambdas must be non-empty for fault_model %q", kind)
+	case !needLambdas && len(wire.Lambdas) > 0:
+		return nil, fmt.Errorf("lambdas are meaningless for fault_model %q (only transient and combined sweeps have a lambda axis)", kind)
 	}
 	for _, pf := range wire.Pfails {
 		if pf < 0 || pf > 1 || math.IsNaN(pf) {
 			return nil, fmt.Errorf("pfail %g outside [0,1]", pf)
 		}
 	}
+	for _, la := range wire.Lambdas {
+		if la < 0 || math.IsNaN(la) || math.IsInf(la, 0) {
+			return nil, fmt.Errorf("lambda %g must be a finite rate >= 0", la)
+		}
+	}
 	spec := &Spec{
 		Benchmarks:    wire.Benchmarks,
+		FaultModel:    kind,
 		Pfails:        wire.Pfails,
+		Lambdas:       wire.Lambdas,
 		Targets:       wire.Targets,
 		MaxSupport:    wire.MaxSupport,
 		ExactConvolve: wire.ExactConvolve,
@@ -174,22 +230,69 @@ func Parse(r io.Reader) (*Spec, error) {
 	return spec, nil
 }
 
+// unknownFieldName extracts the field name of encoding/json's
+// DisallowUnknownFields error ("json: unknown field \"lamda\"").
+func unknownFieldName(err error) (string, bool) {
+	const prefix = `json: unknown field "`
+	msg := err.Error()
+	if !strings.HasPrefix(msg, prefix) || !strings.HasSuffix(msg, `"`) {
+		return "", false
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(msg, prefix), `"`), true
+}
+
+// axis returns the grid values of one scenario axis: the parsed values
+// when the fault model has the axis, a single zero point otherwise, so
+// the grid expansion below is uniform across fault models.
+func axis(values []float64) []float64 {
+	if len(values) == 0 {
+		return []float64{0}
+	}
+	return values
+}
+
+// scenarioOf builds one grid point's query scenario. Permanent sweeps
+// return nil — the legacy Query.Pfail spelling — which keeps the
+// permanent wire rows and analysis path byte-identical to the
+// pre-scenario format.
+func (s *Spec) scenarioOf(pf, la float64) fault.Scenario {
+	switch s.FaultModel {
+	case fault.KindPermanent:
+		return nil
+	case fault.KindTransient:
+		return fault.Transient{Lambda: la}
+	case fault.KindCombined:
+		return fault.Combined{Pfail: pf, Lambda: la}
+	default:
+		panic(fmt.Sprintf("batchspec: unhandled fault model %v", s.FaultModel))
+	}
+}
+
 // Queries expands the per-benchmark query grid in the canonical order:
-// pfails outermost, then mechanisms, then targets. Every benchmark of
-// the sweep runs this same grid on its own engine.
+// pfails outermost, then lambdas, then mechanisms, then targets (a
+// fault model without one of the first two axes simply skips it). Every
+// benchmark of the sweep runs this same grid on its own engine.
 func (s *Spec) Queries() []core.Query {
-	queries := make([]core.Query, 0, len(s.Pfails)*len(s.Mechanisms)*len(s.Targets))
-	for _, pf := range s.Pfails {
-		for _, m := range s.Mechanisms {
-			for _, tg := range s.Targets {
-				queries = append(queries, core.Query{
-					Cache:            s.Cache,
-					Pfail:            pf,
-					Mechanism:        m,
-					TargetExceedance: tg,
-					MaxSupport:       s.MaxSupport,
-					Coarsen:          s.Coarsen,
-				})
+	pfails, lambdas := axis(s.Pfails), axis(s.Lambdas)
+	queries := make([]core.Query, 0, len(pfails)*len(lambdas)*len(s.Mechanisms)*len(s.Targets))
+	for _, pf := range pfails {
+		for _, la := range lambdas {
+			for _, m := range s.Mechanisms {
+				for _, tg := range s.Targets {
+					q := core.Query{
+						Cache:            s.Cache,
+						Mechanism:        m,
+						TargetExceedance: tg,
+						MaxSupport:       s.MaxSupport,
+						Coarsen:          s.Coarsen,
+					}
+					if scn := s.scenarioOf(pf, la); scn != nil {
+						q.Scenario = scn
+					} else {
+						q.Pfail = pf
+					}
+					queries = append(queries, q)
+				}
 			}
 		}
 	}
@@ -208,16 +311,20 @@ func (s *Spec) EngineOptions(workers int) core.EngineOptions {
 
 // NumRows is the total number of result rows the sweep produces.
 func (s *Spec) NumRows() int {
-	return len(s.Benchmarks) * len(s.Pfails) * len(s.Mechanisms) * len(s.Targets)
+	return len(s.Benchmarks) * len(axis(s.Pfails)) * len(axis(s.Lambdas)) *
+		len(s.Mechanisms) * len(s.Targets)
 }
 
 // Row is one sweep point's outcome — the JSON row format of
 // cmd/pwcet -batch -json and of the service's NDJSON stream. The field
 // set and order are part of the byte-identity contract between the two
-// front ends.
+// front ends; the scenario fields are omitted when empty so permanent
+// sweeps keep the historical row bytes.
 type Row struct {
 	Benchmark     string  `json:"benchmark"`
 	Pfail         float64 `json:"pfail"`
+	FaultModel    string  `json:"fault_model,omitempty"`
+	Lambda        float64 `json:"lambda,omitempty"`
 	Mechanism     string  `json:"mechanism"`
 	Target        float64 `json:"target"`
 	FaultFreeWCET int64   `json:"fault_free_wcet"`
@@ -226,7 +333,7 @@ type Row struct {
 
 // RowOf builds the row of one (benchmark, query) sweep point.
 func RowOf(benchmark string, q core.Query, r *core.Result) Row {
-	return Row{
+	row := Row{
 		Benchmark:     benchmark,
 		Pfail:         q.Pfail,
 		Mechanism:     q.Mechanism.String(),
@@ -234,6 +341,13 @@ func RowOf(benchmark string, q core.Query, r *core.Result) Row {
 		FaultFreeWCET: r.FaultFreeWCET,
 		PWCET:         r.PWCET,
 	}
+	if q.Scenario != nil {
+		pf, la := fault.Components(q.Scenario)
+		row.Pfail = pf
+		row.FaultModel = q.Scenario.Kind().String()
+		row.Lambda = la
+	}
+	return row
 }
 
 // Rows converts one benchmark's batch results, in Queries order, to

@@ -1,12 +1,14 @@
 package batchspec
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/malardalen"
 )
 
@@ -97,6 +99,59 @@ func TestParseFullSpec(t *testing.T) {
 	}
 }
 
+// TestParseFaultModels covers the fault_model axis gating and the grid
+// expansion order with a lambda axis present.
+func TestParseFaultModels(t *testing.T) {
+	// Default: permanent, byte-compatible with pre-scenario specs.
+	spec := parse(t, `{"pfails": [1e-4]}`)
+	if spec.FaultModel != fault.KindPermanent || len(spec.Lambdas) != 0 {
+		t.Errorf("default fault model %v lambdas %v, want permanent with no lambda axis", spec.FaultModel, spec.Lambdas)
+	}
+	if q := spec.Queries(); q[0].Scenario != nil {
+		t.Errorf("permanent sweep query carries a scenario %v, want the legacy nil spelling", q[0].Scenario)
+	}
+
+	// Transient: lambda axis only.
+	spec = parse(t, `{"fault_model": "transient", "lambdas": [1e-12, 1e-10], "mechanisms": ["none"], "benchmarks": ["bs"]}`)
+	if spec.FaultModel != fault.KindTransient {
+		t.Fatalf("fault model %v, want transient", spec.FaultModel)
+	}
+	if n := spec.NumRows(); n != 2 {
+		t.Errorf("NumRows %d, want 2 (two lambdas, one mech, one target, one benchmark)", n)
+	}
+	q := spec.Queries()
+	if len(q) != 2 || q[0].Scenario != (fault.Transient{Lambda: 1e-12}) || q[1].Scenario != (fault.Transient{Lambda: 1e-10}) {
+		t.Errorf("transient queries = %+v", q)
+	}
+	if q[0].Pfail != 0 {
+		t.Errorf("transient query leaked a pfail %g", q[0].Pfail)
+	}
+
+	// Combined: full pfails x lambdas product, pfails outermost.
+	spec = parse(t, `{
+		"fault_model": "combined",
+		"pfails": [1e-5, 1e-3],
+		"lambdas": [0, 1e-10],
+		"mechanisms": ["srb"],
+		"benchmarks": ["bs"]
+	}`)
+	if n := spec.NumRows(); n != 4 {
+		t.Errorf("NumRows %d, want 4", n)
+	}
+	q = spec.Queries()
+	want := []fault.Scenario{
+		fault.Combined{Pfail: 1e-5, Lambda: 0},
+		fault.Combined{Pfail: 1e-5, Lambda: 1e-10},
+		fault.Combined{Pfail: 1e-3, Lambda: 0},
+		fault.Combined{Pfail: 1e-3, Lambda: 1e-10},
+	}
+	for i, w := range want {
+		if q[i].Scenario != w {
+			t.Errorf("combined query %d scenario %v, want %v (pfails outermost, then lambdas)", i, q[i].Scenario, w)
+		}
+	}
+}
+
 func TestParseRejects(t *testing.T) {
 	cases := []struct{ name, spec, want string }{
 		{"no pfails", `{"benchmarks": ["bs"]}`, "pfails must be non-empty"},
@@ -111,6 +166,17 @@ func TestParseRejects(t *testing.T) {
 		{"unknown field", `{"pfails": [1e-4], "wat": 1}`, "unknown field"},
 		{"trailing data", `{"pfails": [1e-4]} {"pfails": [1e-4]}`, "trailing data"},
 		{"syntax", `{`, "unexpected EOF"},
+		// The classic typo: the error must name the offending key and
+		// list the real field names, so "lamda" is a 2-second fix.
+		{"lamda typo", `{"fault_model": "transient", "lamda": [1e-10]}`, `unknown field "lamda"`},
+		{"lamda typo lists fields", `{"fault_model": "transient", "lamda": [1e-10]}`, "lambdas"},
+		{"bad fault model", `{"fault_model": "bogus", "pfails": [1e-4]}`, "unknown fault model"},
+		{"bad lambda", `{"fault_model": "transient", "lambdas": [-1]}`, "finite rate"},
+		{"permanent with lambdas", `{"pfails": [1e-4], "lambdas": [1e-10]}`, "lambdas are meaningless"},
+		{"transient with pfails", `{"fault_model": "transient", "lambdas": [1e-10], "pfails": [1e-4]}`, "pfails are meaningless"},
+		{"transient without lambdas", `{"fault_model": "transient"}`, "lambdas must be non-empty"},
+		{"combined without pfails", `{"fault_model": "combined", "lambdas": [1e-10]}`, "pfails must be non-empty"},
+		{"combined without lambdas", `{"fault_model": "combined", "pfails": [1e-4]}`, "lambdas must be non-empty"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -136,5 +202,54 @@ func TestRowOf(t *testing.T) {
 	rows := Rows("bs", []core.Query{q}, []*core.Result{r})
 	if len(rows) != 1 || rows[0] != want {
 		t.Errorf("Rows = %+v", rows)
+	}
+}
+
+// TestRowWireCompatibility pins the NDJSON wire format: permanent rows
+// marshal byte-identically to the pre-scenario schema (no fault_model
+// or lambda keys), while transient/combined rows append the two keys
+// after pfail.
+func TestRowWireCompatibility(t *testing.T) {
+	r := &core.Result{FaultFreeWCET: 100, PWCET: 250}
+
+	perm := RowOf("bs", core.Query{Pfail: 1e-4, Mechanism: cache.MechanismRW, TargetExceedance: 1e-12}, r)
+	b, err := json.Marshal(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPerm = `{"benchmark":"bs","pfail":0.0001,"mechanism":"rw","target":1e-12,"fault_free_wcet":100,"pwcet":250}`
+	if string(b) != wantPerm {
+		t.Errorf("permanent row wire bytes changed:\n got %s\nwant %s", b, wantPerm)
+	}
+
+	tq := core.Query{Scenario: fault.Transient{Lambda: 1e-10}, Mechanism: cache.MechanismNone, TargetExceedance: 1e-12}
+	trans := RowOf("bs", tq, r)
+	if trans.FaultModel != "transient" || trans.Lambda != 1e-10 || trans.Pfail != 0 {
+		t.Errorf("transient row = %+v", trans)
+	}
+	b, err = json.Marshal(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pfail stays in the row even at 0 (it has no omitempty — permanent
+	// pfail=0 rows must keep printing it); the new keys follow it.
+	const wantTrans = `{"benchmark":"bs","pfail":0,"fault_model":"transient","lambda":1e-10,"mechanism":"none","target":1e-12,"fault_free_wcet":100,"pwcet":250}`
+	if string(b) != wantTrans {
+		t.Errorf("transient row wire bytes:\n got %s\nwant %s", b, wantTrans)
+	}
+
+	// A combined grid point on the lambda=0 edge keeps its fault_model
+	// (the row is still a combined-sweep row) but omits the zero lambda.
+	cq := core.Query{Scenario: fault.Combined{Pfail: 1e-3, Lambda: 0}, Mechanism: cache.MechanismSRB, TargetExceedance: 1e-12}
+	comb := RowOf("bs", cq, r)
+	b, err = json.Marshal(comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); !strings.Contains(got, `"fault_model":"combined"`) || strings.Contains(got, `"lambda"`) {
+		t.Errorf("combined lambda=0 row = %s, want fault_model present and lambda omitted", got)
+	}
+	if !strings.Contains(string(b), `"pfail":0.001`) {
+		t.Errorf("combined row lost its pfail: %s", b)
 	}
 }

@@ -45,8 +45,21 @@ type Options struct {
 	// Cache is the cache geometry and timing. Zero value = PaperConfig.
 	Cache cache.Config
 	// Pfail is the per-bit permanent failure probability (paper: 1e-4).
+	// It is the legacy spelling of Scenario = fault.Permanent{Pfail}:
+	// leaving Scenario nil selects the paper's permanent model with
+	// this probability, byte-identical to the pre-scenario pipeline.
 	Pfail float64
-	// Mechanism selects the reliability hardware.
+	// Scenario selects the fault environment: fault.Permanent (the
+	// paper's boot-time model), fault.Transient (per-access SEUs at
+	// rate lambda), or fault.Combined (both, independently composed).
+	// nil defaults to fault.Permanent{Pfail: Pfail}; setting both
+	// Scenario and a non-zero Pfail is rejected. Transient and
+	// Combined scenarios are not combinable with PreciseSRB or
+	// DataCache.
+	Scenario fault.Scenario
+	// Mechanism selects the reliability hardware. It shapes only the
+	// permanent fault component; a pure Transient scenario yields the
+	// same result for every mechanism.
 	Mechanism cache.Mechanism
 	// TargetExceedance is the probability at which the pWCET is read
 	// (default 1e-15).
@@ -148,18 +161,49 @@ func (o Options) validate() error {
 	return nil
 }
 
+// scenario resolves the effective fault scenario: an explicit Scenario
+// wins; a nil Scenario selects the paper's permanent model at the
+// legacy Pfail field, keeping every pre-scenario call site working
+// unchanged. Setting both is rejected so a sweep can never silently
+// mix the two spellings.
+func (o Options) scenario() (fault.Scenario, error) {
+	if o.Scenario == nil {
+		return fault.Permanent{Pfail: o.Pfail}, nil
+	}
+	if o.Pfail != 0 {
+		return nil, fmt.Errorf("core: both Pfail %g and Scenario %v set; use exactly one", o.Pfail, o.Scenario)
+	}
+	if err := o.Scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return o.Scenario, nil
+}
+
 // Result is the outcome of one pWCET analysis.
 type Result struct {
 	// Program is the analyzed program's name.
 	Program string
 	// Options echoes the effective analysis options (defaults resolved).
 	Options Options
-	// Model is the derived fault model (pbf from equation 1).
+	// Scenario is the resolved fault scenario — never nil: a nil
+	// Options.Scenario resolves to fault.Permanent{Pfail}.
+	Scenario fault.Scenario
+	// Model is the derived permanent fault model (pbf from equation 1).
+	// For a pure Transient scenario it is the zero-pfail model.
 	Model fault.Model
+	// Transient is the derived SEU model (lambda, window bound,
+	// per-access extra-miss probability). Zero unless the scenario has
+	// a transient component.
+	Transient fault.TransientModel
+	// HitBounds caps, per cache set, the hit-classified reference
+	// executions a transient upset can turn into extra misses. nil
+	// unless the scenario has a transient component.
+	HitBounds ipet.HitBounds
 	// FaultFreeWCET is the deterministic WCET with zero faults, in
 	// cycles.
 	FaultFreeWCET int64
-	// FMM is the fault miss map (misses, not cycles): FMM[s][f].
+	// FMM is the fault miss map (misses, not cycles): FMM[s][f]. nil
+	// for a pure Transient scenario, which has no permanent component.
 	FMM ipet.FMM
 	// PerSet holds each set's penalty distribution in cycles.
 	PerSet []*dist.Dist
@@ -195,7 +239,16 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	scn, err := opt.scenario()
+	if err != nil {
+		return nil, err
+	}
+	kind := scn.Kind()
+	pfail, _ := fault.Components(scn)
+	if kind != fault.KindPermanent && (opt.PreciseSRB || opt.DataCache != nil) {
+		return nil, fmt.Errorf("core: %v scenario does not support PreciseSRB or DataCache (permanent only)", kind)
+	}
+	model, err := fault.NewModel(pfail, opt.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +284,7 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		if err := opt.DataCache.Validate(); err != nil {
 			return nil, fmt.Errorf("core: data cache: %w", err)
 		}
-		dmodel, err = fault.NewModel(opt.Pfail, *opt.DataCache)
+		dmodel, err = fault.NewModel(pfail, *opt.DataCache)
 		if err != nil {
 			return nil, err
 		}
@@ -244,24 +297,37 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 		return nil, err
 	}
 
-	fopt := ipet.FMMOptions{Mechanism: opt.Mechanism, Workers: opt.Workers}
-	if opt.Mechanism == cache.MechanismSRB {
-		fopt.SRBHit = a.ClassifySRB()
-	}
-	fmm, err := ipet.ComputeFMM(sys, a, base, fopt)
-	if err != nil {
-		return nil, err
+	// A pure Transient scenario has no permanent component: the fault
+	// miss map (per-set misses as a function of permanently faulty
+	// ways) is meaningless for it and is skipped entirely.
+	var fmm ipet.FMM
+	if kind != fault.KindTransient {
+		fopt := ipet.FMMOptions{Mechanism: opt.Mechanism, Workers: opt.Workers}
+		if opt.Mechanism == cache.MechanismSRB {
+			fopt.SRBHit = a.ClassifySRB()
+		}
+		fmm, err = ipet.ComputeFMM(sys, a, base, fopt)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{
 		Program:       p.Name,
 		Options:       opt,
+		Scenario:      scn,
 		Model:         model,
 		FaultFreeWCET: wres.WCET,
 		FMM:           fmm,
 		HitRefs:       wres.HitRefs,
 		FMRefs:        wres.FMRefs,
 		MissRefs:      wres.MissRefs,
+	}
+	if kind != fault.KindPermanent {
+		res.HitBounds, err = ipet.ComputeHitBounds(sys, a, base, ipet.HitBoundOptions{Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if da != nil {
 		dfopt := ipet.FMMOptions{Mechanism: opt.Mechanism, Workers: opt.Workers}
@@ -288,22 +354,51 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 
 // buildDistributions derives the per-set penalty distributions from the
 // FMM and the faulty-way probabilities, convolves them (including the
-// data cache's, whose fault population is independent), and reads the
+// data cache's, whose fault population is independent), folds in the
+// transient extra-miss penalty when the scenario has one, and reads the
 // pWCET quantile. workers bounds the convolution tree's parallelism
 // (it may differ from Options.Workers when an Engine batch already
 // fans out at query level); it never changes the result.
+//
+// The permanent stage runs exactly the historical code whenever an FMM
+// is present; the transient stage is strictly appended after it, so a
+// permanent-only scenario is byte-identical to the pre-scenario
+// pipeline and Combined(pfail, lambda) convolves the two independent
+// penalty distributions.
 func (r *Result) buildDistributions(workers int) error {
 	cfg := r.Options.Cache
-	perSet, penalty, err := convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-		dist.Degenerate(0), r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
-	if err != nil {
-		return err
+	penalty := dist.Degenerate(0)
+	if r.FMM != nil {
+		var err error
+		r.PerSet, penalty, err = convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
+			penalty, r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
+		if err != nil {
+			return err
+		}
+		if r.DataFMM != nil {
+			_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
+				r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers,
+				r.Options.ExactConvolve)
+			if err != nil {
+				return err
+			}
+		}
 	}
-	r.PerSet = perSet
-	if r.DataFMM != nil {
-		_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
-			r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers,
-			r.Options.ExactConvolve)
+	if r.HitBounds != nil {
+		// The window bound on any access's inter-access distance is a
+		// bound on the whole run's duration: fault-free WCET, plus the
+		// worst permanent penalty already materialized in the
+		// accumulator, plus one miss penalty per vulnerable access (the
+		// transient misses themselves lengthen the run).
+		_, lambda := fault.Components(r.Scenario)
+		window := r.FaultFreeWCET + penalty.Max() + cfg.MissPenalty()*r.HitBounds.Total()
+		tm, err := fault.NewTransientModel(lambda, window)
+		if err != nil {
+			return err
+		}
+		r.Transient = tm
+		penalty, err = convolveTransient(penalty, r.HitBounds, cfg, tm,
+			r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
 		if err != nil {
 			return err
 		}
@@ -350,6 +445,42 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 	total := reduce(perSet, maxSupport, workers, strategy)
 	acc = acc.Convolve(total).CoarsenToWith(maxSupport, strategy)
 	return perSet, acc, nil
+}
+
+// convolveTransient folds the transient extra-miss penalty into the
+// accumulator: per set, the step-scaled binomial distribution of extra
+// misses — at most HitBounds[s] vulnerable accesses, each upset with
+// the model's per-access probability — convolved across independent
+// sets by the same reduction tree as the permanent stage. Each per-set
+// binomial is coarsened to the support cap before entering the tree
+// (unlike the permanent per-set distributions, whose support is at most
+// Ways+1 atoms, a binomial can carry thousands). A zero PMiss
+// contributes nothing and returns the accumulator unchanged, which is
+// what makes Combined(pfail, lambda=0) byte-identical to
+// Permanent(pfail).
+func convolveTransient(acc *dist.Dist, hb ipet.HitBounds, cfg cache.Config, tm fault.TransientModel,
+	maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool) (*dist.Dist, error) {
+	if tm.PMiss == 0 {
+		return acc, nil
+	}
+	perSet := make([]*dist.Dist, len(hb))
+	for s, n := range hb {
+		pts, err := fault.BinomialPoints(n, tm.PMiss, cfg.MissPenalty())
+		if err != nil {
+			return nil, fmt.Errorf("core: set %d transient distribution: %w", s, err)
+		}
+		d, err := dist.New(pts)
+		if err != nil {
+			return nil, fmt.Errorf("core: set %d transient distribution: %w", s, err)
+		}
+		perSet[s] = d.CoarsenToWith(maxSupport, strategy)
+	}
+	reduce := dist.ConvolveAllWith
+	if exact {
+		reduce = dist.ConvolveAllExactWith
+	}
+	total := reduce(perSet, maxSupport, workers, strategy)
+	return acc.Convolve(total).CoarsenToWith(maxSupport, strategy), nil
 }
 
 // PWCETAt returns the pWCET at an arbitrary exceedance probability,

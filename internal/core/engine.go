@@ -23,7 +23,11 @@ package core
 //     mechanism-independent f < W FMM columns (one ILP solve per set
 //     and fault count) and the three flavours of the f = W column
 //     (none, SRB, precise SRB), from which any mechanism's FMM is
-//     spliced without further solves.
+//     spliced without further solves;
+//   - per context: the transient hit-bound vector (one ILP solve per
+//     set), shared by every transient and combined scenario — the
+//     bound does not depend on lambda, pfail or mechanism, so a lambda
+//     sweep computes it exactly once.
 //
 // A Query then only performs the cheap per-query work: the fault model
 // of equation 1, the probability weighting of equations 2/3, the
@@ -55,8 +59,17 @@ import (
 type Query struct {
 	// Cache is the instruction-cache geometry. Zero value = PaperConfig.
 	Cache cache.Config
-	// Pfail is the per-bit permanent failure probability.
+	// Pfail is the per-bit permanent failure probability — the legacy
+	// spelling of Scenario = fault.Permanent{Pfail} (see
+	// Options.Pfail).
 	Pfail float64
+	// Scenario selects the fault environment (see Options.Scenario).
+	// nil defaults to fault.Permanent{Pfail: Pfail}. Scenario
+	// parameters only shape the per-query probability weighting: the
+	// memoized artifacts they read (classification, WCET, FMM columns,
+	// transient hit bounds) are scenario-independent, so a lambda or
+	// pfail sweep computes each artifact exactly once.
+	Scenario fault.Scenario
 	// Mechanism selects the reliability hardware (None, RW, SRB).
 	Mechanism cache.Mechanism
 	// TargetExceedance is the probability at which the pWCET is read
@@ -86,6 +99,7 @@ func (q Query) options(workers int) Options {
 	return Options{
 		Cache:            q.Cache,
 		Pfail:            q.Pfail,
+		Scenario:         q.Scenario,
 		Mechanism:        q.Mechanism,
 		TargetExceedance: q.TargetExceedance,
 		MaxSupport:       q.MaxSupport,
@@ -101,6 +115,7 @@ func queryOf(o Options) Query {
 	return Query{
 		Cache:            o.Cache,
 		Pfail:            o.Pfail,
+		Scenario:         o.Scenario,
 		Mechanism:        o.Mechanism,
 		TargetExceedance: o.TargetExceedance,
 		MaxSupport:       o.MaxSupport,
@@ -130,6 +145,11 @@ const (
 	// ArtifactFMMColumn is one flavour of the f = W column; the event's
 	// Mechanism and Precise fields identify which.
 	ArtifactFMMColumn
+	// ArtifactTransientBound is the per-set transient hit-bound vector
+	// (one ILP solve per set), shared by every transient and combined
+	// scenario of one context — the bound is independent of lambda,
+	// pfail and mechanism.
+	ArtifactTransientBound
 )
 
 // String names the artifact kind for logs and test failures.
@@ -145,6 +165,8 @@ func (a Artifact) String() string {
 		return "fmm-core"
 	case ArtifactFMMColumn:
 		return "fmm-column"
+	case ArtifactTransientBound:
+		return "transient-bound"
 	default:
 		return fmt.Sprintf("artifact(%d)", int(a))
 	}
@@ -285,6 +307,22 @@ type ctxEntry struct {
 
 	fmms    map[fmmKey]*fmmEntry
 	fmmList []*fmmEntry
+
+	// hbe memoizes the context's transient hit-bound vector (guarded by
+	// Engine.mu like fmms); nil until a transient or combined query
+	// needs it, and reset to nil on eviction.
+	hbe *hbEntry
+}
+
+// hbEntry memoizes the per-set transient hit bounds of one context —
+// like the FMM artifacts, an independently evictable pure function of
+// the context key (the bounds depend only on the classification and the
+// constraint system, not on lambda, pfail or mechanism).
+type hbEntry struct {
+	node *memoNode
+	once sync.Once
+	hb   ipet.HitBounds
+	err  error
 }
 
 // fmmKind selects one memoized FMM artifact of a context.
@@ -513,6 +551,9 @@ func (e *Engine) dropCtxLocked(key ctxKey, ctx *ctxEntry) {
 			e.evictNodeLocked(fe.node)
 		}
 	}
+	if ctx.hbe != nil && ctx.hbe.node.linked {
+		e.evictNodeLocked(ctx.hbe.node)
+	}
 }
 
 // fmmArtifact returns one memoized FMM artifact of the context. The
@@ -583,6 +624,37 @@ func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
 	return entry.fmm, entry.err
 }
 
+// hitBounds returns the context's memoized transient hit-bound vector,
+// solving the per-set ILPs on first use. The caller must hold a pin on
+// the context (analyze does); the vector itself is never mutated after
+// construction, so returning the memoized slice directly is safe even
+// across a later eviction.
+func (e *Engine) hitBounds(ctx *ctxEntry) (ipet.HitBounds, error) {
+	e.mu.Lock()
+	entry := ctx.hbe
+	if entry == nil {
+		entry = &hbEntry{}
+		entry.node = &memoNode{drop: func(e *Engine) { ctx.hbe = nil }}
+		ctx.hbe = entry
+		e.misses++
+	} else {
+		e.hits++
+		e.touchLocked(entry.node)
+	}
+	e.mu.Unlock()
+	entry.once.Do(func() {
+		c := ctx.ic
+		entry.hb, entry.err = ipet.ComputeHitBounds(ctx.sys, c.a, c.base, ipet.HitBoundOptions{Workers: e.workers})
+		if entry.err == nil {
+			e.mu.Lock()
+			e.chargeLocked(entry.node, entry.hb.MemBytes())
+			e.mu.Unlock()
+			e.emit(ArtifactEvent{Artifact: ArtifactTransientBound, Cache: c.a.Config()})
+		}
+	})
+	return entry.hb, entry.err
+}
+
 // fmmFor splices the requested mechanism's fault miss map from the
 // memoized artifacts: the shared f < W columns plus the mechanism's
 // f = W column. The returned FMM is a fresh copy the caller owns.
@@ -642,7 +714,16 @@ func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 	if opt.DataCache != nil && opt.PreciseSRB {
 		return nil, fmt.Errorf("core: PreciseSRB is not supported together with a data cache")
 	}
-	model, err := fault.NewModel(opt.Pfail, opt.Cache)
+	scn, err := opt.scenario()
+	if err != nil {
+		return nil, err
+	}
+	kind := scn.Kind()
+	pfail, _ := fault.Components(scn)
+	if kind != fault.KindPermanent && (opt.PreciseSRB || opt.DataCache != nil) {
+		return nil, fmt.Errorf("core: %v scenario does not support PreciseSRB or DataCache (permanent only)", kind)
+	}
+	model, err := fault.NewModel(pfail, opt.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +732,7 @@ func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 		if err := opt.DataCache.Validate(); err != nil {
 			return nil, fmt.Errorf("core: data cache: %w", err)
 		}
-		dmodel, err = fault.NewModel(opt.Pfail, *opt.DataCache)
+		dmodel, err = fault.NewModel(pfail, *opt.DataCache)
 		if err != nil {
 			return nil, err
 		}
@@ -665,20 +746,30 @@ func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 	// not evictable — for the rest of the query; the budget is enforced
 	// against the unpinned remainder now and fully on release.
 	defer e.releaseCtx(ctx)
-	fmm, err := e.fmmFor(ctx, false, opt.Mechanism, false)
-	if err != nil {
-		return nil, err
+	var fmm ipet.FMM
+	if kind != fault.KindTransient {
+		fmm, err = e.fmmFor(ctx, false, opt.Mechanism, false)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{
 		Program:       e.p.Name,
 		Options:       opt,
+		Scenario:      scn,
 		Model:         model,
 		FaultFreeWCET: ctx.wcet.WCET,
 		FMM:           fmm,
 		HitRefs:       ctx.wcet.HitRefs,
 		FMRefs:        ctx.wcet.FMRefs,
 		MissRefs:      ctx.wcet.MissRefs,
+	}
+	if kind != fault.KindPermanent {
+		res.HitBounds, err = e.hitBounds(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opt.DataCache != nil {
 		dfmm, err := e.fmmFor(ctx, true, opt.Mechanism, false)

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// binomialUnderflowLog is the natural-log threshold below which a
+// binomial term underflows float64 (exp(-746) == 0, including
+// subnormals). Terms beyond it carry exactly zero representable mass,
+// so the support scan can stop there without dropping anything a
+// float64 distribution could express.
+const binomialUnderflowLog = -746.0
+
+// BinomialPoints materializes the distribution of step-scaled
+// Binomial(n, q) counts — the per-set transient extra-miss penalty of
+// a TransientModel: value k*step with probability C(n,k) q^k (1-q)^(n-k).
+//
+// The terms are computed in log space (via Lgamma) over the window of
+// k whose probability is representable in float64; the window is found
+// by expanding outward from the distribution mode, where the log-term
+// is maximal, exploiting its concavity in k. All float mass the scan
+// could not represent — both tails together, at most a few 1e-300 — is
+// folded onto the support maximum n*step, so the result keeps exactly
+// unit mass and remains a sound exceedance upper bound: mass only ever
+// moved to a larger value. The computation is a pure function of
+// (n, q, step) — deterministic across runs and platforms running the
+// same Go math library.
+//
+// n == 0 or q <= 0 yield the degenerate point {0, 1}; q >= 1 yields
+// {n*step, 1}.
+func BinomialPoints(n int64, q float64, step int64) ([]dist.Point, error) {
+	switch {
+	case n < 0:
+		return nil, fmt.Errorf("fault: binomial count %d is negative", n)
+	case step <= 0:
+		return nil, fmt.Errorf("fault: binomial step %d must be positive", step)
+	case math.IsNaN(q) || q < 0 || q > 1:
+		return nil, fmt.Errorf("fault: binomial probability %g outside [0,1]", q)
+	case n > 0 && n > math.MaxInt64/step:
+		return nil, fmt.Errorf("fault: binomial support %d*%d overflows int64", n, step)
+	}
+	if n == 0 || q == 0 {
+		return []dist.Point{{Value: 0, Prob: 1}}, nil
+	}
+	if q == 1 {
+		return []dist.Point{{Value: n * step, Prob: 1}}, nil
+	}
+
+	logQ, logNotQ := math.Log(q), math.Log1p(-q)
+	lgN1, _ := math.Lgamma(float64(n) + 1)
+	logTerm := func(k int64) float64 {
+		lgK1, _ := math.Lgamma(float64(k) + 1)
+		lgNK1, _ := math.Lgamma(float64(n-k) + 1)
+		return lgN1 - lgK1 - lgNK1 + float64(k)*logQ + float64(n-k)*logNotQ
+	}
+
+	// The mode floor((n+1)q) maximizes the term; the log-term is
+	// concave in k, so expanding until underflow finds the exact
+	// representable window.
+	mode := int64(math.Floor(float64(n+1) * q))
+	if mode > n {
+		mode = n
+	}
+	lo, hi := mode, mode
+	for lo > 0 && logTerm(lo-1) > binomialUnderflowLog {
+		lo--
+	}
+	for hi < n && logTerm(hi+1) > binomialUnderflowLog {
+		hi++
+	}
+
+	pts := make([]dist.Point, 0, hi-lo+2)
+	var sum float64
+	for k := lo; k <= hi; k++ {
+		p := math.Exp(logTerm(k))
+		if p <= 0 {
+			continue
+		}
+		pts = append(pts, dist.Point{Value: k * step, Prob: p})
+		sum += p
+	}
+	// Fold the unrepresented residual mass — the truncated tails plus
+	// the rounding of the forward sum — onto the support maximum:
+	// soundly pessimistic (mass moves up) and exactly unit total.
+	if rem := 1 - sum; rem > 0 {
+		pts = append(pts, dist.Point{Value: n * step, Prob: rem})
+	}
+	return pts, nil
+}

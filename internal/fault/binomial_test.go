@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func binomialDist(t *testing.T, n int64, q float64, step int64) *dist.Dist {
+	t.Helper()
+	pts, err := BinomialPoints(n, q, step)
+	if err != nil {
+		t.Fatalf("BinomialPoints(%d, %g, %d): %v", n, q, step, err)
+	}
+	d, err := dist.New(pts)
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	return d
+}
+
+func TestBinomialPointsEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		q    float64
+		want int64 // single-atom support value
+	}{
+		{0, 0.5, 0},       // no trials
+		{100, 0, 0},       // upsets impossible
+		{100, 1, 100 * 7}, // every access misses
+	} {
+		d := binomialDist(t, tc.n, tc.q, 7)
+		if d.Len() != 1 || d.Max() != tc.want {
+			t.Errorf("Binomial(%d, %g): support %d atoms max %d, want the single atom %d",
+				tc.n, tc.q, d.Len(), d.Max(), tc.want)
+		}
+	}
+}
+
+func TestBinomialPointsRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		n    int64
+		q    float64
+		step int64
+	}{
+		{-1, 0.5, 1},
+		{10, -0.1, 1},
+		{10, 1.1, 1},
+		{10, math.NaN(), 1},
+		{10, 0.5, 0},
+		{10, 0.5, -3},
+		{math.MaxInt64, 0.5, 2}, // n*step overflows
+	}
+	for _, tc := range cases {
+		if _, err := BinomialPoints(tc.n, tc.q, tc.step); err == nil {
+			t.Errorf("BinomialPoints(%d, %g, %d) accepted", tc.n, tc.q, tc.step)
+		}
+	}
+}
+
+// The materialized pmf must match the direct small-n product formula and
+// carry exactly unit mass.
+func TestBinomialPointsMatchesDirectFormula(t *testing.T) {
+	const n, q, step = 12, 0.3, 100
+	d := binomialDist(t, n, q, step)
+	pmf := make(map[int64]float64, d.Len())
+	for _, pt := range d.Points() {
+		pmf[pt.Value] = pt.Prob
+	}
+	for k := int64(0); k <= n; k++ {
+		want := choose(n, int(k)) * math.Pow(q, float64(k)) * math.Pow(1-q, float64(n-k))
+		got := pmf[k*step]
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("pmf(%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+// Large-n regimes where naive products underflow: the log-space window
+// must still carry the mass near the mode, total exactly 1 after
+// dist.New's renormalization, and mean close to n*q.
+func TestBinomialPointsLargeN(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		q float64
+	}{
+		{100_000, 1e-4},
+		{100_000, 0.5}, // (1-q)^n underflows catastrophically
+		{1_000_000, 1e-6},
+		{50_000, 0.999},
+	} {
+		d := binomialDist(t, tc.n, tc.q, 1)
+		mean := 0.0
+		for _, pt := range d.Points() {
+			mean += float64(pt.Value) * pt.Prob
+		}
+		want := float64(tc.n) * tc.q
+		// The residual fold to n*step shifts the mean up by the folded
+		// mass (the forward sum's rounding, ~1e-10) times the support.
+		if math.Abs(mean-want) > 1e-6*want+1e-9*float64(tc.n) {
+			t.Errorf("Binomial(%d, %g): mean %g, want ~%g", tc.n, tc.q, mean, want)
+		}
+		if d.Max() > tc.n {
+			t.Errorf("Binomial(%d, %g): support max %d exceeds n", tc.n, tc.q, d.Max())
+		}
+	}
+}
+
+// The tail fold keeps the result a sound exceedance upper bound of the
+// true binomial: at every threshold the materialized P(X >= v) must be
+// >= the true tail (checked against an exact small-n reference).
+func TestBinomialPointsSoundTail(t *testing.T) {
+	const n, q, step = 40, 0.2, 1
+	d := binomialDist(t, n, q, step)
+	for v := int64(0); v <= n; v++ {
+		var want float64
+		for k := v; k <= n; k++ {
+			want += choose(n, int(k)) * math.Pow(q, float64(k)) * math.Pow(1-q, float64(n-k))
+		}
+		got := d.CCDF(v - 1) // P(X > v-1) = P(X >= v)
+		if got < want-1e-12 {
+			t.Errorf("P(X >= %d) = %g below true %g", v, got, want)
+		}
+	}
+}
+
+// The scan is a pure function of its arguments: same inputs, same atoms.
+func TestBinomialPointsDeterministic(t *testing.T) {
+	a, err := BinomialPoints(10_000, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BinomialPoints(10_000, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("atom %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

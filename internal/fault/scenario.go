@@ -1,0 +1,237 @@
+package fault
+
+// Composable fault scenarios.
+//
+// The source paper models one fault environment: permanent faults,
+// SRAM cells that fail at boot and stay failed, folded into the
+// per-way fault-probability vector of equations 2 and 3. A Scenario
+// generalizes that into a first-class, composable description of the
+// fault environment, with three implementations:
+//
+//   - Permanent: the paper's boot-time model, parameterized by the
+//     per-bit failure probability pfail. The analysis pipeline under a
+//     Permanent scenario is byte-identical to the historical
+//     (Mechanism, pfail) pipeline.
+//   - Transient: a per-access SEU (single-event-upset) model in the
+//     spirit of Del Tedesco et al.'s environmental-noise analyses and
+//     Das & Dey's per-access unreliability: soft errors strike cache
+//     lines as independent Poisson processes with rate Lambda per line
+//     per cycle, invalidating the struck line. An access that would
+//     have hit suffers an extra miss when an upset struck its line
+//     since the previous access to it.
+//   - Combined: a degraded cache AND soft errors — the product
+//     composition of the two. The permanent and transient penalty
+//     distributions are independent (boot-time cell failures versus
+//     in-flight particle strikes), so they convolve.
+//
+// Scenario values are small comparable structs: they can key memoized
+// artifacts and deduplicate sweep grids directly.
+//
+// # Soundness of the transient model
+//
+// Each extra transient miss requires a distinct upset: one upset
+// invalidates one line once, and after the reload a further miss needs
+// a further upset. For a fixed access sequence, the invalidation
+// windows of consecutive accesses to the same line are disjoint, so by
+// the independent-increments property of the Poisson process the
+// per-access "line was invalidated since its previous access"
+// indicators are independent, each with probability
+// 1 - exp(-Lambda*d) where d is that access's inter-access distance.
+// Bounding every d by a bound D on the whole run duration and the
+// number of vulnerable accesses per set by the ILP bound of
+// ipet.ComputeHitBounds, the per-set count of transient extra misses
+// is stochastically dominated by Binomial(N_s, 1-exp(-Lambda*D)) —
+// the distribution BinomialPoints materializes. Everything downstream
+// (convolution across independent sets, coarsening) preserves the
+// exceedance upper bound.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies the scenario family. It is one of the repo's checked
+// enums: every switch over a Kind must be exhaustive or panic in
+// default (enforced by the exhaustenum analyzer).
+type Kind int
+
+const (
+	// KindPermanent is the paper's boot-time permanent-fault model.
+	KindPermanent Kind = iota
+	// KindTransient is the per-access SEU model (rate Lambda).
+	KindTransient
+	// KindCombined composes a permanently degraded cache with SEUs.
+	KindCombined
+)
+
+// String returns the wire name used by batch specs and CLI flags.
+func (k Kind) String() string {
+	switch k {
+	case KindPermanent:
+		return "permanent"
+	case KindTransient:
+		return "transient"
+	case KindCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a wire name ("permanent", "transient",
+// "combined") to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "permanent":
+		return KindPermanent, nil
+	case "transient":
+		return KindTransient, nil
+	case "combined":
+		return KindCombined, nil
+	}
+	return 0, fmt.Errorf("fault: unknown fault model %q (want permanent, transient or combined)", s)
+}
+
+// Scenario is a composable description of the fault environment of one
+// analysis. The three implementations — Permanent, Transient, Combined
+// — are small comparable structs, so Scenario values can be compared
+// and used as map keys directly.
+type Scenario interface {
+	// Kind identifies the scenario family.
+	Kind() Kind
+	// Validate checks the scenario parameters' domains.
+	Validate() error
+	// String renders the scenario for logs and reports.
+	String() string
+}
+
+// Permanent is the paper's fault environment: every SRAM cell fails
+// permanently at boot with probability Pfail (equations 1–3). The
+// analysis under a Permanent scenario is byte-identical to the
+// historical pfail-parameterized pipeline.
+type Permanent struct {
+	// Pfail is the per-bit permanent failure probability, in [0,1].
+	Pfail float64
+}
+
+// Kind returns KindPermanent.
+func (Permanent) Kind() Kind { return KindPermanent }
+
+// Validate checks the parameter domain.
+func (s Permanent) Validate() error { return validatePfail(s.Pfail) }
+
+// String renders the scenario.
+func (s Permanent) String() string { return fmt.Sprintf("permanent(pfail=%g)", s.Pfail) }
+
+// Transient is the SEU fault environment: soft errors strike each
+// cache line as an independent Poisson process with rate Lambda
+// (upsets per line per cycle), invalidating the line. Permanent faults
+// are absent.
+type Transient struct {
+	// Lambda is the per-line per-cycle upset rate, >= 0.
+	Lambda float64
+}
+
+// Kind returns KindTransient.
+func (Transient) Kind() Kind { return KindTransient }
+
+// Validate checks the parameter domain.
+func (s Transient) Validate() error { return validateLambda(s.Lambda) }
+
+// String renders the scenario.
+func (s Transient) String() string { return fmt.Sprintf("transient(lambda=%g)", s.Lambda) }
+
+// Combined composes a permanently degraded cache (per-bit failure
+// probability Pfail) with soft errors (per-line per-cycle upset rate
+// Lambda). The two fault populations are independent, so their penalty
+// distributions convolve; Combined{Pfail, 0} is equivalent to
+// Permanent{Pfail} and Combined{0, Lambda} to Transient{Lambda}
+// (asserted byte-identical by the differential suite).
+type Combined struct {
+	// Pfail is the per-bit permanent failure probability, in [0,1].
+	Pfail float64
+	// Lambda is the per-line per-cycle upset rate, >= 0.
+	Lambda float64
+}
+
+// Kind returns KindCombined.
+func (Combined) Kind() Kind { return KindCombined }
+
+// Validate checks both parameter domains.
+func (s Combined) Validate() error {
+	if err := validatePfail(s.Pfail); err != nil {
+		return err
+	}
+	return validateLambda(s.Lambda)
+}
+
+// String renders the scenario.
+func (s Combined) String() string {
+	return fmt.Sprintf("combined(pfail=%g, lambda=%g)", s.Pfail, s.Lambda)
+}
+
+func validatePfail(pfail float64) error {
+	if pfail < 0 || pfail > 1 || math.IsNaN(pfail) {
+		return fmt.Errorf("fault: pfail %g outside [0,1]", pfail)
+	}
+	return nil
+}
+
+func validateLambda(lambda float64) error {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("fault: lambda %g must be a finite rate >= 0", lambda)
+	}
+	return nil
+}
+
+// Components decomposes a scenario into its permanent and transient
+// parameters: pfail is 0 when the scenario has no permanent component,
+// lambda is 0 when it has no transient component. The switch is
+// exhaustive over Kind — an unhandled scenario family is a programming
+// error, not a silent default.
+func Components(s Scenario) (pfail, lambda float64) {
+	switch s.Kind() {
+	case KindPermanent:
+		return s.(Permanent).Pfail, 0
+	case KindTransient:
+		return 0, s.(Transient).Lambda
+	case KindCombined:
+		c := s.(Combined)
+		return c.Pfail, c.Lambda
+	default:
+		panic(fmt.Sprintf("fault: unhandled scenario kind %v", s.Kind()))
+	}
+}
+
+// TransientModel carries the derived per-access parameters of one
+// transient analysis — the SEU analogue of Model.
+type TransientModel struct {
+	// Lambda is the per-line per-cycle upset rate.
+	Lambda float64
+	// Window is the sound bound on any access's inter-access distance
+	// in cycles: the bound on the whole run duration (fault-free WCET
+	// plus the maximal permanent penalty plus one miss penalty per
+	// vulnerable access).
+	Window int64
+	// PMiss is the derived per-access extra-miss probability:
+	// 1 - exp(-Lambda*Window), the probability that at least one upset
+	// struck the access's line within its window.
+	PMiss float64
+}
+
+// NewTransientModel derives the per-access extra-miss probability from
+// the upset rate and the run-duration bound. The probability is
+// computed stably via expm1 for tiny rates.
+func NewTransientModel(lambda float64, window int64) (TransientModel, error) {
+	if err := validateLambda(lambda); err != nil {
+		return TransientModel{}, err
+	}
+	if window <= 0 {
+		return TransientModel{}, fmt.Errorf("fault: transient window %d must be positive cycles", window)
+	}
+	p := -math.Expm1(-lambda * float64(window))
+	if p > 1 {
+		p = 1
+	}
+	return TransientModel{Lambda: lambda, Window: window, PMiss: p}, nil
+}

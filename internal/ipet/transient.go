@@ -1,0 +1,143 @@
+package ipet
+
+// Transient-fault support: per-set bounds on the number of accesses an
+// SEU can turn into an extra miss. The transient model of
+// internal/fault charges at most one extra miss per execution of a
+// reference whose fault-free classification hits (always-hit or
+// first-miss): an access that misses anyway is already charged its
+// penalty, so an upset striking its line adds nothing. The per-set
+// count of such vulnerable reference executions, maximized over all
+// structurally feasible paths by the same ILP machinery as the FMM,
+// caps the binomial extra-miss distribution of each set.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/absint"
+	"repro/internal/chmc"
+)
+
+// HitBounds[s] upper-bounds the number of hit-classified reference
+// executions of cache set s on any structurally feasible path — the
+// accesses a transient upset can turn into extra misses. The bound
+// uses the fault-free classification, which is an upper bound on the
+// vulnerable accesses under ANY permanent fault map: permanent faults
+// only ever degrade classifications toward miss, and degraded-to-miss
+// accesses are no longer vulnerable.
+type HitBounds []int64
+
+// Total sums the per-set bounds: the program-wide cap on transient
+// extra misses.
+func (h HitBounds) Total() int64 {
+	var t int64
+	for _, v := range h {
+		t += v
+	}
+	return t
+}
+
+// MemBytes estimates the resident heap bytes of the bounds vector —
+// the eviction-cost estimate for the engine's bounded artifact memory.
+func (h HitBounds) MemBytes() int64 {
+	const wordBytes = 8
+	return int64(cap(h)) * wordBytes
+}
+
+// HitBoundOptions configures ComputeHitBounds.
+type HitBoundOptions struct {
+	// Workers bounds the goroutines solving per-set ILPs concurrently
+	// (sets are independent). 0 means GOMAXPROCS; 1 is fully
+	// sequential. Like ComputeFMM, the result is byte-identical for
+	// every worker count: each set's bound is solved on a private
+	// simplex restored to the same pristine basis.
+	Workers int
+}
+
+// ComputeHitBounds bounds, for every cache set, the number of
+// vulnerable (hit-classified) reference executions over all
+// structurally feasible paths: one ILP per set maximizing the count of
+// executions of the set's always-hit and first-miss references. base
+// must be the full-associativity classification (Analyzer.ClassifyAll).
+// The per-set solves fan out over a bounded worker pool exactly like
+// ComputeFMM; on error the lowest-numbered failing set's error is
+// returned.
+func ComputeHitBounds(sys *System, a *absint.Analyzer, base []chmc.Class, opt HitBoundOptions) (HitBounds, error) {
+	cfg := a.Config()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+
+	hb := make(HitBounds, cfg.Sets)
+	errs := make([]error, cfg.Sets)
+	if workers == 1 {
+		ws := sys.Clone()
+		weights := make([]float64, len(sys.p.Blocks))
+		for set := 0; set < cfg.Sets; set++ {
+			if hb[set], errs[set] = computeHitBound(ws, sys, a, base, set, weights); errs[set] != nil {
+				return nil, errs[set]
+			}
+		}
+		return hb, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := sys.Clone()
+			weights := make([]float64, len(sys.p.Blocks))
+			for set := range jobs {
+				hb[set], errs[set] = computeHitBound(ws, sys, a, base, set, weights)
+			}
+		}()
+	}
+	for set := 0; set < cfg.Sets; set++ {
+		jobs <- set
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hb, nil
+}
+
+// computeHitBound solves one set's vulnerable-access ILP on the
+// worker's private system ws, restored to pristine's basis first so
+// the bound is a pure function of (sys, a, base, set).
+func computeHitBound(ws, pristine *System, a *absint.Analyzer, base []chmc.Class, set int, weights []float64) (int64, error) {
+	refs := a.RefsOfSet(set)
+	clear(weights)
+	any := false
+	for _, r := range refs {
+		if base[r.Global].CountsAsMiss() {
+			continue // already charged a miss per execution; not vulnerable
+		}
+		weights[r.BB]++
+		any = true
+	}
+	if !any {
+		return 0, nil // no reference of the set can suffer an extra miss
+	}
+	if err := ws.resetFrom(pristine); err != nil {
+		return 0, err
+	}
+	res, err := ws.MaximizeBlockWeights(weights, 0)
+	if err != nil {
+		return 0, err
+	}
+	if v := int64(math.Round(res.Objective)); v > 0 {
+		return v, nil
+	}
+	return 0, nil
+}

@@ -119,6 +119,56 @@ func TestBatchStreamMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestBatchStreamTransientMatchesEngine extends the byte-identity
+// guarantee to the scenario layer: a combined permanent+transient sweep
+// streamed by the service equals the rows of a direct engine batch,
+// including the fault_model and lambda columns.
+func TestBatchStreamTransientMatchesEngine(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := `{
+		"benchmarks": ["bs"],
+		"fault_model": "combined",
+		"pfails": [0, 1e-3],
+		"lambdas": [0, 1e-10],
+		"mechanisms": ["none", "srb"]
+	}`
+	resp := postSpec(t, ts.URL, spec, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if rows := resp.Header.Get("X-Pwcet-Rows"); rows != "8" {
+		t.Errorf("X-Pwcet-Rows %q, want 8", rows)
+	}
+	got := readRows(t, resp.Body)
+
+	parsed, err := batchspec.Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := malardalen.MustGet("bs")
+	eng, err := pwcet.NewEngine(p, parsed.EngineOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := parsed.Queries()
+	results, err := eng.AnalyzeBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchspec.Rows("bs", queries, results)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].FaultModel != "combined" {
+			t.Errorf("row %d fault_model %q, want combined", i, got[i].FaultModel)
+		}
+	}
+}
+
 // TestHandlerTable covers the rejection paths: wrong method, malformed
 // and oversized specs, and missing or wrong API keys.
 func TestHandlerTable(t *testing.T) {

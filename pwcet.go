@@ -41,6 +41,37 @@
 // Benchmarks and Benchmark; cmd/paperfigs regenerates every figure and
 // cmd/pwcet -batch runs JSON-specified sweeps.
 //
+// # Fault models
+//
+// The fault environment of an analysis is a Scenario
+// (Options.Scenario / Query.Scenario), one of:
+//
+//   - Permanent{Pfail}: the paper's model — every SRAM cell fails at
+//     boot with probability Pfail and stays failed. A nil Scenario
+//     defaults to Permanent at the legacy Pfail field, byte-identical
+//     to the historical pipeline.
+//   - Transient{Lambda}: per-access SEUs — soft errors strike each
+//     cache line as an independent Poisson process with rate Lambda
+//     (upsets per line per cycle), invalidating the line; an access
+//     that would have hit pays an extra miss when an upset struck its
+//     line since the previous access.
+//   - Combined{Pfail, Lambda}: both at once. The permanent and
+//     transient fault populations are independent, so their penalty
+//     distributions convolve; Combined{Pfail, 0} is equivalent to
+//     Permanent{Pfail} and Combined{0, Lambda} to Transient{Lambda}.
+//
+// The transient analysis is a sound exceedance upper bound, not an
+// exact distribution: each set's extra-miss count is bounded by a
+// binomial — at most N_s vulnerable (hit-classified) accesses from a
+// per-set ILP, each upset independently with probability
+// 1-exp(-Lambda*D) for a window bound D on the run duration — which
+// stochastically dominates the true count. Reliability mechanisms
+// (RW, SRB) shield only permanent faults, so a pure Transient
+// scenario yields the same result for every Mechanism, and
+// Result.FMM is nil (there is no permanent component to map).
+// Transient and Combined scenarios are not combinable with PreciseSRB
+// or DataCache.
+//
 // # Parallelism and determinism
 //
 // The per-set stages of an analysis — the fault-miss-map ILP solves
@@ -147,7 +178,45 @@ type (
 	// VoltageModel maps DVFS supply voltage to per-bit failure
 	// probability (calibrated against the paper's low-voltage citation).
 	VoltageModel = fault.VoltageModel
+	// Scenario is a composable description of the fault environment
+	// (Options.Scenario / Query.Scenario); see the "Fault models"
+	// section of the package documentation.
+	Scenario = fault.Scenario
+	// Permanent is the paper's fault scenario: SRAM cells fail at boot
+	// with probability Pfail and stay failed (equations 1-3).
+	Permanent = fault.Permanent
+	// Transient is the SEU fault scenario: soft errors strike cache
+	// lines as independent Poisson processes with rate Lambda per line
+	// per cycle, each invalidating the struck line.
+	Transient = fault.Transient
+	// Combined composes a permanently degraded cache (Pfail) with soft
+	// errors (Lambda); the independent penalty distributions convolve.
+	Combined = fault.Combined
+	// ScenarioKind identifies a scenario family (permanent, transient,
+	// combined).
+	ScenarioKind = fault.Kind
+	// TransientModel carries the derived per-access SEU parameters of
+	// one analysis (Result.Transient): the rate, the inter-access
+	// window bound and the per-access extra-miss probability.
+	TransientModel = fault.TransientModel
 )
+
+// Scenario kinds, the values ScenarioKind takes.
+const (
+	ScenarioPermanent = fault.KindPermanent
+	ScenarioTransient = fault.KindTransient
+	ScenarioCombined  = fault.KindCombined
+)
+
+// ParseScenarioKind converts "permanent", "transient" or "combined" to
+// a ScenarioKind (the spellings ScenarioKind.String returns, also used
+// by the batch-spec "fault_model" field and the -fault-model CLI flag).
+func ParseScenarioKind(s string) (ScenarioKind, error) { return fault.ParseKind(s) }
+
+// Components splits any scenario into its permanent and transient
+// parameters: the per-bit failure probability (0 for pure Transient)
+// and the SEU rate lambda (0 for pure Permanent).
+func Components(s Scenario) (pfail, lambda float64) { return fault.Components(s) }
 
 // DefaultVoltageModel returns the low-voltage SRAM failure calibration
 // (pfail = 1e-3 at 0.5V, per the paper's citation of Zhou et al.).
@@ -226,6 +295,7 @@ func Analyze(p *Program, opt Options) (*Result, error) {
 	return e.Analyze(core.Query{
 		Cache:            opt.Cache,
 		Pfail:            opt.Pfail,
+		Scenario:         opt.Scenario,
 		Mechanism:        opt.Mechanism,
 		TargetExceedance: opt.TargetExceedance,
 		MaxSupport:       opt.MaxSupport,
