@@ -73,6 +73,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"text/tabwriter"
+	"time"
 
 	pwcet "repro"
 	"repro/internal/batchspec"
@@ -98,6 +99,7 @@ type config struct {
 	coarsen    pwcet.CoarsenStrategy
 	workers    int
 	exact      bool
+	softDL     time.Duration
 	jsonOut    bool
 	ndjson     bool
 	curve      bool
@@ -148,6 +150,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&coarsen, "coarsen", "least-error", "support-cap coarsening strategy: least-error or keep-heaviest")
 	fs.IntVar(&c.workers, "workers", 0, "worker goroutines for the per-set stages and batch scheduling (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.exact, "exact-convolve", false, "route the penalty reduction through the exact convolution fold (differential escape hatch)")
+	fs.DurationVar(&c.softDL, "soft-deadline", 0, "per-query degraded-mode deadline: queries over it retry at tighter support caps and report degraded results (0 = off)")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON (with -bench or -batch)")
 	fs.BoolVar(&c.ndjson, "ndjson", false, "with -batch: stream one compact JSON row per line (NDJSON)")
 	fs.BoolVar(&c.curve, "curve", false, "print the exceedance curve")
@@ -197,6 +200,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if c.workers < 0 {
 		return nil, usage("-workers %d is negative (0 means GOMAXPROCS)", c.workers)
 	}
+	if c.softDL < 0 {
+		return nil, usage("-soft-deadline %v is negative (0 means off)", c.softDL)
+	}
 	if c.validate < 0 {
 		return nil, usage("-validate %d is negative", c.validate)
 	}
@@ -240,6 +246,11 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		}
 		if c.jsonOut && (c.list || c.all) {
 			return nil, usage("-json requires -bench or -batch")
+		}
+		if explicit["soft-deadline"] && (c.list || c.all) {
+			// AnalyzeAll's one-shot Options have no per-query degraded
+			// mode; silently dropping the flag would mislead.
+			return nil, usage("-soft-deadline requires -bench or -batch")
 		}
 		if c.ndjson && c.batch == "" {
 			return nil, usage("-ndjson requires -batch")
@@ -385,11 +396,14 @@ type benchJSON struct {
 
 // mechanismJSON is one mechanism's outcome.
 type mechanismJSON struct {
-	Mechanism     string       `json:"mechanism"`
-	FaultFreeWCET int64        `json:"fault_free_wcet"`
-	PWCET         int64        `json:"pwcet"`
-	MaxPenalty    int64        `json:"max_penalty"`
-	Curve         []curvePoint `json:"curve,omitempty"`
+	Mechanism     string `json:"mechanism"`
+	FaultFreeWCET int64  `json:"fault_free_wcet"`
+	PWCET         int64  `json:"pwcet"`
+	MaxPenalty    int64  `json:"max_penalty"`
+	// Degraded reports that a -soft-deadline retry tightened the support
+	// cap: the pWCET is still a sound upper bound, just coarser.
+	Degraded bool         `json:"degraded,omitempty"`
+	Curve    []curvePoint `json:"curve,omitempty"`
 }
 
 // curvePoint is one atom of the exceedance curve.
@@ -416,6 +430,7 @@ func analyzeBench(stdout io.Writer, c *config) error {
 			TargetExceedance: c.target,
 			Coarsen:          c.coarsen,
 			PreciseSRB:       c.precise && m == pwcet.SRB,
+			SoftDeadline:     c.softDL,
 		}
 		if scn := c.scenario(); scn != nil {
 			q.Scenario = scn
@@ -522,6 +537,7 @@ func writeBenchJSON(stdout io.Writer, c *config, results map[pwcet.Mechanism]*co
 			FaultFreeWCET: r.FaultFreeWCET,
 			PWCET:         r.PWCET,
 			MaxPenalty:    r.Penalty.Max(),
+			Degraded:      r.Degraded,
 		}
 		if c.curve {
 			for _, pt := range r.ExceedanceCurve() {
@@ -569,6 +585,11 @@ func runBatch(stdout io.Writer, c *config) error {
 			return err
 		}
 		queries := spec.Queries()
+		if c.softDL > 0 {
+			for i := range queries {
+				queries[i].SoftDeadline = c.softDL
+			}
+		}
 		results, err := eng.AnalyzeBatch(queries)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

@@ -58,6 +58,9 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		{"json plus validate", []string{"-bench", "bs", "-json", "-validate", "10"}, "not available with -json"},
 		{"json plus fmm", []string{"-bench", "bs", "-json", "-fmm"}, "not available with -json"},
 		{"json plus classes", []string{"-bench", "bs", "-json", "-classes"}, "not available with -json"},
+		{"negative soft-deadline", []string{"-bench", "bs", "-soft-deadline", "-1s"}, "negative"},
+		{"soft-deadline plus list", []string{"-list", "-soft-deadline", "1s"}, "requires -bench or -batch"},
+		{"soft-deadline plus all", []string{"-all", "-soft-deadline", "1s"}, "requires -bench or -batch"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -165,6 +168,42 @@ func TestJSONOutput(t *testing.T) {
 	_, stdout, _ = runCmd(t, "-bench", "bs", "-mech", "rw", "-json")
 	if strings.Contains(stdout, "\"curve\"") {
 		t.Errorf("curve present without -curve:\n%s", stdout)
+	}
+}
+
+// TestSoftDeadlineDegradedEcho: an unmeetable -soft-deadline still
+// yields a successful run whose JSON rows carry "degraded": true, while
+// runs without the flag keep the field off the wire entirely.
+func TestSoftDeadlineDegradedEcho(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-bench", "bs", "-mech", "all", "-soft-deadline", "1ns", "-json")
+	if code != 0 {
+		t.Fatalf("degraded-mode run exited %d: %s", code, stderr)
+	}
+	var rep struct {
+		Mechanisms []struct {
+			Mechanism string `json:"mechanism"`
+			PWCET     int64  `json:"pwcet"`
+			Degraded  bool   `json:"degraded"`
+		} `json:"mechanisms"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("unparseable -json output: %v\n%s", err, stdout)
+	}
+	if len(rep.Mechanisms) != 3 {
+		t.Fatalf("%d mechanisms, want 3", len(rep.Mechanisms))
+	}
+	for _, m := range rep.Mechanisms {
+		if !m.Degraded {
+			t.Errorf("%s: not flagged degraded under a 1ns soft deadline", m.Mechanism)
+		}
+		if m.PWCET <= 0 {
+			t.Errorf("%s: implausible degraded pWCET %d", m.Mechanism, m.PWCET)
+		}
+	}
+
+	_, stdout, _ = runCmd(t, "-bench", "bs", "-mech", "rw", "-json")
+	if strings.Contains(stdout, "\"degraded\"") {
+		t.Errorf("degraded field present without -soft-deadline:\n%s", stdout)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/serve"
 )
 
@@ -52,10 +53,12 @@ type config struct {
 	burst        int
 	maxBody      int64
 	batchTimeout time.Duration
+	softDeadline time.Duration
 	drainTimeout time.Duration
 	workers      int
 	maxEngines   int
 	maxArtifact  int64
+	faults       string
 }
 
 // parseFlags parses and validates the command line (usage errors exit
@@ -72,7 +75,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&c.burst, "burst", 5, "per-key request burst")
 	fs.Int64Var(&c.maxBody, "max-body", 1<<20, "request body size limit in bytes")
 	fs.DurationVar(&c.batchTimeout, "batch-timeout", 10*time.Minute, "wall-clock limit per batch request (0 = unlimited)")
+	fs.DurationVar(&c.softDeadline, "soft-deadline", 0, "per-query degraded-mode deadline: queries over it retry at tighter support caps and stream \"degraded\": true rows (0 = off)")
 	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown drain limit")
+	fs.StringVar(&c.faults, "fault", "", "fault-injection spec site=spec;... (requires the pwcetfault build tag; see internal/faultpoint)")
 	fs.IntVar(&c.workers, "workers", 0, "default engine worker goroutines (0 = GOMAXPROCS; specs may override)")
 	fs.IntVar(&c.maxEngines, "max-engines", 8, "max resident warm engines in the pool (0 = unbounded)")
 	fs.Int64Var(&c.maxArtifact, "max-artifact-bytes", 64<<20, "per-engine memoized-artifact byte budget (0 = unbounded)")
@@ -104,8 +109,11 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if c.maxBody <= 0 {
 		return nil, usage("-max-body %d must be positive", c.maxBody)
 	}
-	if c.batchTimeout < 0 || c.drainTimeout < 0 {
+	if c.batchTimeout < 0 || c.drainTimeout < 0 || c.softDeadline < 0 {
 		return nil, usage("timeouts must be non-negative")
+	}
+	if err := faultpoint.EnableSpecs(c.faults); err != nil {
+		return nil, usage("-fault: %v", err)
 	}
 	if c.workers < 0 {
 		return nil, usage("-workers %d is negative (0 means GOMAXPROCS)", c.workers)
@@ -151,6 +159,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		Burst:         c.burst,
 		MaxBodyBytes:  c.maxBody,
 		BatchTimeout:  c.batchTimeout,
+		SoftDeadline:  c.softDeadline,
 		Workers:       c.workers,
 		Pool: serve.PoolOptions{
 			MaxEngines:       c.maxEngines,

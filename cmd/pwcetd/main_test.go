@@ -29,6 +29,11 @@ func TestInvalidFlagsExitWithUsage(t *testing.T) {
 		{"negative workers", []string{"-workers", "-1"}, "negative"},
 		{"negative max-engines", []string{"-max-engines", "-1"}, "non-negative"},
 		{"negative timeout", []string{"-batch-timeout", "-1s"}, "non-negative"},
+		{"negative soft-deadline", []string{"-soft-deadline", "-1s"}, "non-negative"},
+		// Rejected in both build modes: without pwcetfault the whole
+		// -fault flag is refused, with it the site is unknown — either
+		// way the diagnostic comes from the faultpoint package.
+		{"bad fault spec", []string{"-fault", "no.such.site=error"}, "faultpoint:"},
 		{"unknown flag", []string{"-wat"}, "flag provided but not defined"},
 		{"open non-loopback", []string{"-addr", ":8080"}, "without -api-keys"},
 		{"open all interfaces", []string{"-addr", "0.0.0.0:8080"}, "without -api-keys"},

@@ -1,0 +1,647 @@
+// Command soak is the chaos harness for the pwcet analysis service:
+// it hammers a live pwcetd with randomized sweep specifications while
+// injecting client-side chaos (mid-stream disconnects, retry storms,
+// SIGTERM/restart cycles) and checks the two properties the service
+// promises under all of it:
+//
+//   - byte-identity: every completed response is byte-for-byte the
+//     NDJSON an in-process engine produces for the same spec (a
+//     response cut short by a disconnect must be a clean line-boundary
+//     prefix of it — truncated, never corrupted);
+//   - flat residency: the pool's resident artifact bytes never exceed
+//     the configured budget (max-engines x max-artifact-bytes), no
+//     matter how many distinct sweeps the run throws at it.
+//
+// Alongside the HTTP lane, a local chaos lane generates random
+// programs (internal/progen) and fuzzes the engine directly with
+// cancellation: queries canceled at random points must return context
+// errors, leave zero pinned artifact bytes behind, and a subsequent
+// uncanceled run must still produce identical results.
+//
+//	soak -pwcetd ./pwcetd -duration 60s -restart-every 15s
+//	soak -addr 127.0.0.1:8080 -api-key k1 -clients 8 -disconnect-prob 0.2
+//	soak -duration 10s                  # local chaos lane only
+//
+// With -pwcetd, soak spawns and supervises the daemon itself (on a
+// loopback port), restarting it with SIGTERM every -restart-every; a
+// daemon exit soak did not request fails the run. With -addr it
+// targets an already-running server and only reports residency.
+// Exit status: 0 when every check held, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	pwcet "repro"
+	"repro/internal/batchspec"
+	"repro/internal/progen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed command line.
+type config struct {
+	addr           string
+	pwcetdPath     string
+	apiKey         string
+	duration       time.Duration
+	seed           int64
+	clients        int
+	restartEvery   time.Duration
+	disconnectProb float64
+	local          bool
+	maxEngines     int
+	maxArtifact    int64
+	faults         string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := &config{}
+	fs.StringVar(&c.addr, "addr", "", "address of a running pwcetd to target (host:port)")
+	fs.StringVar(&c.pwcetdPath, "pwcetd", "", "path to a pwcetd binary to spawn and supervise on a loopback port")
+	fs.StringVar(&c.apiKey, "api-key", "", "bearer token sent with every request (and configured on a spawned daemon)")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "how long to soak")
+	fs.Int64Var(&c.seed, "seed", 1, "PRNG seed; a given seed replays the same request and chaos schedule")
+	fs.IntVar(&c.clients, "clients", 4, "concurrent HTTP clients")
+	fs.DurationVar(&c.restartEvery, "restart-every", 0, "SIGTERM and restart the spawned daemon this often (0 = never; requires -pwcetd)")
+	fs.Float64Var(&c.disconnectProb, "disconnect-prob", 0.1, "probability a client abandons its stream mid-read, in [0,1]")
+	fs.BoolVar(&c.local, "local", true, "run the local engine chaos lane (random programs, cancellation fuzz)")
+	fs.IntVar(&c.maxEngines, "max-engines", 4, "pool bound for a spawned daemon (residency budget = max-engines x max-artifact-bytes)")
+	fs.Int64Var(&c.maxArtifact, "max-artifact-bytes", 8<<20, "per-engine artifact budget for a spawned daemon")
+	fs.StringVar(&c.faults, "pwcetd-fault", "", "fault spec forwarded to the spawned daemon's -fault flag (requires -pwcetd and a binary built with -tags pwcetfault)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	usage := func(format string, a ...any) error {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(stderr, "soak: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	if fs.NArg() > 0 {
+		return nil, usage("unexpected arguments %q", fs.Args())
+	}
+	if c.addr != "" && c.pwcetdPath != "" {
+		return nil, usage("-addr and -pwcetd are mutually exclusive")
+	}
+	if c.restartEvery < 0 || c.duration <= 0 {
+		return nil, usage("durations must be positive")
+	}
+	if c.restartEvery > 0 && c.pwcetdPath == "" {
+		return nil, usage("-restart-every requires -pwcetd (soak cannot restart a daemon it does not own)")
+	}
+	if c.faults != "" && c.pwcetdPath == "" {
+		return nil, usage("-pwcetd-fault requires -pwcetd (soak cannot arm faults on a daemon it does not own)")
+	}
+	if c.disconnectProb < 0 || c.disconnectProb > 1 {
+		return nil, usage("-disconnect-prob %g outside [0,1]", c.disconnectProb)
+	}
+	if c.clients < 0 || c.maxEngines <= 0 || c.maxArtifact <= 0 {
+		return nil, usage("-clients must be >= 0 and pool bounds positive")
+	}
+	if c.addr == "" && c.pwcetdPath == "" && !c.local {
+		return nil, usage("nothing to do: no -addr, no -pwcetd, and -local=false")
+	}
+	return c, nil
+}
+
+// soaker carries the shared run state: chaos counters, the reference
+// oracle, and the first recorded divergence.
+type soaker struct {
+	cfg *config
+
+	httpOK         atomic.Uint64 // byte-identical completed responses
+	httpTruncated  atomic.Uint64 // clean line-boundary prefixes (disconnects, drains)
+	httpRetries    atomic.Uint64 // transient failures retried (conn refused, 503)
+	httpAborts     atomic.Uint64 // client-initiated mid-stream disconnects
+	mismatches     atomic.Uint64 // responses diverging from the reference bytes
+	localPrograms  atomic.Uint64 // random programs analyzed by the local lane
+	localCancels   atomic.Uint64 // fuzzed cancellations observed
+	localFailures  atomic.Uint64 // local-lane contract violations
+	restarts       atomic.Uint64 // commanded SIGTERM/restart cycles
+	unexpectedExit atomic.Uint64 // daemon exits soak did not request
+	maxResidency   atomic.Int64  // peak engine_pool.artifact_bytes observed
+	overBudget     atomic.Uint64 // residency polls exceeding the budget
+
+	refMu   sync.Mutex
+	refs    map[string][]byte // spec body -> expected NDJSON bytes
+	diagMu  sync.Mutex
+	firstMu string // first mismatch diagnostic, for the summary
+}
+
+func (s *soaker) recordMismatch(diag string) {
+	s.mismatches.Add(1)
+	s.diagMu.Lock()
+	if s.firstMu == "" {
+		s.firstMu = diag
+	}
+	s.diagMu.Unlock()
+}
+
+// smallBenchmarks returns the suite's smallest benchmarks by code
+// size — cheap enough to sweep repeatedly for the whole soak.
+func smallBenchmarks(n int) []string {
+	names := pwcet.Benchmarks()
+	sort.Slice(names, func(i, j int) bool {
+		pi, _ := pwcet.Benchmark(names[i])
+		pj, _ := pwcet.Benchmark(names[j])
+		if pi.CodeBytes() != pj.CodeBytes() {
+			return pi.CodeBytes() < pj.CodeBytes()
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > n {
+		names = names[:n]
+	}
+	return names
+}
+
+// randomSpec builds a random but valid sweep specification over the
+// small-benchmark pool. json.Marshal sorts map keys, so a given rng
+// state always yields the same body bytes.
+func randomSpec(rng *rand.Rand, pool []string) string {
+	spec := map[string]any{}
+	n := 1 + rng.Intn(2)
+	perm := rng.Perm(len(pool))[:n]
+	sort.Ints(perm)
+	benches := make([]string, n)
+	for i, p := range perm {
+		benches[i] = pool[p]
+	}
+	spec["benchmarks"] = benches
+
+	pfails := []float64{1e-5, 1e-4, 1e-3}
+	lambdas := []float64{1e-12, 1e-10}
+	switch rng.Intn(4) {
+	case 0:
+		spec["fault_model"] = "transient"
+		spec["lambdas"] = lambdas[:1+rng.Intn(len(lambdas))]
+	case 1:
+		spec["fault_model"] = "combined"
+		spec["pfails"] = pfails[:1+rng.Intn(len(pfails))]
+		spec["lambdas"] = lambdas[:1]
+	default:
+		spec["pfails"] = pfails[:1+rng.Intn(len(pfails))]
+	}
+	if rng.Intn(2) == 0 {
+		spec["mechanisms"] = [][]string{{"none"}, {"rw"}, {"srb"}, {"none", "srb"}}[rng.Intn(4)]
+	}
+	if rng.Intn(2) == 0 {
+		spec["max_support"] = []int{256, 1024, 4096}[rng.Intn(3)]
+	}
+	if rng.Intn(4) == 0 {
+		spec["coarsen"] = "keep-heaviest"
+	}
+	if rng.Intn(8) == 0 {
+		spec["exact_convolve"] = true
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(err) // literal maps of strings and numbers cannot fail
+	}
+	return string(b)
+}
+
+// reference returns the NDJSON bytes an in-process engine produces for
+// the spec — the oracle every HTTP response is compared against.
+// Results are memoized: the randomized spec space is small, so most
+// requests hit a cached oracle.
+func (s *soaker) reference(body string) ([]byte, error) {
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	if b, ok := s.refs[body]; ok {
+		return b, nil
+	}
+	spec, err := batchspec.Parse(strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("generated spec invalid: %w", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, name := range spec.Benchmarks {
+		p, err := pwcet.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := pwcet.NewEngine(p, spec.EngineOptions(0))
+		if err != nil {
+			return nil, err
+		}
+		queries := spec.Queries()
+		results, err := eng.AnalyzeBatch(queries)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", name, err)
+		}
+		for _, r := range batchspec.Rows(name, queries, results) {
+			if err := enc.Encode(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.refs[body] = buf.Bytes()
+	return s.refs[body], nil
+}
+
+// daemon supervises a spawned pwcetd.
+type daemon struct {
+	path string
+	args []string
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	exited   chan error
+	addr     atomic.Value // string; "" until the listener is up
+	stopping atomic.Bool
+	s        *soaker
+}
+
+func (d *daemon) start() error {
+	cmd := exec.Command(d.path, d.args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			// "pwcetd: listening on 127.0.0.1:NNN (pool: ...)"
+			if f := strings.Fields(sc.Text()); len(f) >= 4 && f[1] == "listening" {
+				select {
+				case ready <- f[3]:
+				default:
+				}
+			}
+		}
+	}()
+	exited := make(chan error, 1)
+	go func() {
+		err := cmd.Wait()
+		if !d.stopping.Load() {
+			d.s.unexpectedExit.Add(1)
+		}
+		exited <- err
+	}()
+	select {
+	case a := <-ready:
+		d.addr.Store(a)
+	case err := <-exited:
+		return fmt.Errorf("pwcetd exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return errors.New("pwcetd did not report a listen address within 10s")
+	}
+	d.mu.Lock()
+	d.cmd, d.exited = cmd, exited
+	d.mu.Unlock()
+	return nil
+}
+
+// stop SIGTERMs the daemon and waits for a clean exit.
+func (d *daemon) stop() error {
+	d.mu.Lock()
+	cmd, exited := d.cmd, d.exited
+	d.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	d.stopping.Store(true)
+	cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-exited:
+		return err
+	case <-time.After(45 * time.Second):
+		cmd.Process.Kill()
+		return errors.New("pwcetd did not drain within 45s of SIGTERM")
+	}
+}
+
+func (d *daemon) restart() error {
+	if err := d.stop(); err != nil {
+		return err
+	}
+	d.stopping.Store(false)
+	return d.start()
+}
+
+// client runs one HTTP soak loop: random spec, POST, compare against
+// the oracle; transient failures (connection refused during a restart
+// window, 503 while draining) back off and retry.
+func (s *soaker) client(ctx context.Context, id int, addr func() string) {
+	rng := rand.New(rand.NewSource(s.cfg.seed + int64(id)*7919))
+	pool := smallBenchmarks(6)
+	hc := &http.Client{}
+	backoff := 50 * time.Millisecond
+	for ctx.Err() == nil {
+		body := randomSpec(rng, pool)
+		want, err := s.reference(body)
+		if err != nil {
+			s.recordMismatch(fmt.Sprintf("reference oracle failed: %v", err))
+			return
+		}
+		abortAfter := -1
+		if len(want) > 1 && rng.Float64() < s.cfg.disconnectProb {
+			abortAfter = rng.Intn(len(want))
+		}
+		got, status, err := s.post(ctx, hc, addr(), body, abortAfter)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil || status == http.StatusServiceUnavailable:
+			s.httpRetries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		case status != http.StatusOK:
+			s.recordMismatch(fmt.Sprintf("HTTP %d for spec %s: %s", status, body, got))
+		case abortAfter >= 0:
+			s.httpAborts.Add(1)
+		case bytes.Equal(got, want):
+			s.httpOK.Add(1)
+		case len(got) < len(want) && bytes.HasPrefix(want, got) &&
+			(len(got) == 0 || got[len(got)-1] == '\n'):
+			// A stream cut at a row boundary (drain, injected disconnect
+			// fault): truncated is acceptable, corrupted is not.
+			s.httpTruncated.Add(1)
+		default:
+			s.recordMismatch(fmt.Sprintf("response diverges from in-process run for spec %s:\n got: %.200q\nwant: %.200q", body, got, want))
+		}
+		backoff = 50 * time.Millisecond
+	}
+}
+
+// post issues one batch request. abortAfter >= 0 reads that many bytes
+// and then abandons the stream (the injected client disconnect).
+func (s *soaker) post(ctx context.Context, hc *http.Client, addr, body string, abortAfter int) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/batch", strings.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if s.cfg.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+s.cfg.apiKey)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if abortAfter >= 0 && resp.StatusCode == http.StatusOK {
+		io.CopyN(io.Discard, resp.Body, int64(abortAfter))
+		return nil, resp.StatusCode, nil
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, resp.StatusCode, nil
+}
+
+// pollResidency samples /metrics and records the pool's resident
+// artifact bytes; budget > 0 additionally asserts the flat-residency
+// bound (only known when soak spawned the daemon itself).
+func (s *soaker) pollResidency(ctx context.Context, addr func() string, budget int64) {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	var snap struct {
+		Pool struct {
+			ArtifactBytes int64 `json:"artifact_bytes"`
+		} `json:"engine_pool"`
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr()+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		if s.cfg.apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+s.cfg.apiKey)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			continue // restart window
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for {
+			prev := s.maxResidency.Load()
+			if snap.Pool.ArtifactBytes <= prev || s.maxResidency.CompareAndSwap(prev, snap.Pool.ArtifactBytes) {
+				break
+			}
+		}
+		if budget > 0 && snap.Pool.ArtifactBytes > budget {
+			s.overBudget.Add(1)
+		}
+	}
+}
+
+// localLane fuzzes the engine directly: random programs, random
+// cancellation points, and the three contracts — canceled queries
+// return context errors, pins are released (zero pinned bytes), and a
+// subsequent clean run is unaffected (identical pWCETs across two
+// uncanceled runs).
+func (s *soaker) localLane(ctx context.Context) {
+	rng := rand.New(rand.NewSource(s.cfg.seed ^ 0x50a4))
+	params := progen.DefaultParams()
+	for ctx.Err() == nil {
+		p := progen.Random(rng, params)
+		eng, err := pwcet.NewEngine(p, pwcet.EngineOptions{MaxArtifactBytes: 4 << 20})
+		if err != nil {
+			s.localFailures.Add(1)
+			return
+		}
+		queries := []pwcet.Query{
+			{Pfail: 1e-4, Mechanism: pwcet.None},
+			{Pfail: 1e-4, Mechanism: pwcet.RW},
+			{Pfail: 1e-4, Mechanism: pwcet.SRB},
+		}
+		if rng.Intn(2) == 0 {
+			cctx, cancel := context.WithTimeout(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+			_, err := eng.AnalyzeBatchContext(cctx, queries)
+			cancel()
+			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					s.localFailures.Add(1)
+				} else {
+					s.localCancels.Add(1)
+				}
+			}
+			if ms := eng.MemStats(); ms.PinnedBytes != 0 {
+				s.localFailures.Add(1)
+			}
+		}
+		first, err1 := eng.AnalyzeBatch(queries)
+		second, err2 := eng.AnalyzeBatch(queries)
+		if err1 != nil || err2 != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			s.localFailures.Add(1)
+			continue
+		}
+		for i := range first {
+			if first[i].PWCET != second[i].PWCET || first[i].FaultFreeWCET != second[i].FaultFreeWCET {
+				s.localFailures.Add(1)
+			}
+		}
+		s.localPrograms.Add(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+	s := &soaker{cfg: cfg, refs: make(map[string][]byte)}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	var budget int64
+	addr := func() string { return cfg.addr }
+	var d *daemon
+	if cfg.pwcetdPath != "" {
+		budget = int64(cfg.maxEngines) * cfg.maxArtifact
+		dArgs := []string{
+			"-addr", "127.0.0.1:0",
+			"-max-engines", fmt.Sprint(cfg.maxEngines),
+			"-max-artifact-bytes", fmt.Sprint(cfg.maxArtifact),
+		}
+		if cfg.apiKey != "" {
+			dArgs = append(dArgs, "-api-keys", cfg.apiKey)
+		}
+		if cfg.faults != "" {
+			dArgs = append(dArgs, "-fault", cfg.faults)
+		}
+		d = &daemon{path: cfg.pwcetdPath, args: dArgs, s: s}
+		if err := d.start(); err != nil {
+			fmt.Fprintln(stderr, "soak:", err)
+			return 1
+		}
+		addr = func() string { a, _ := d.addr.Load().(string); return a }
+		fmt.Fprintf(stdout, "soak: spawned %s on %s (budget %d bytes)\n", cfg.pwcetdPath, addr(), budget)
+	}
+
+	var wg sync.WaitGroup
+	httpLane := cfg.addr != "" || d != nil
+	if httpLane {
+		for i := 0; i < cfg.clients; i++ {
+			wg.Add(1)
+			go func(id int) { defer wg.Done(); s.client(ctx, id, addr) }(i)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); s.pollResidency(ctx, addr, budget) }()
+	}
+	if cfg.local {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.localLane(ctx) }()
+	}
+	if d != nil && cfg.restartEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(cfg.restartEvery):
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := d.restart(); err != nil {
+					fmt.Fprintln(stderr, "soak: restart:", err)
+					s.unexpectedExit.Add(1)
+					return
+				}
+				s.restarts.Add(1)
+				fmt.Fprintf(stdout, "soak: restarted pwcetd, now on %s\n", addr())
+			}
+		}()
+	}
+	wg.Wait()
+	cancel()
+	if d != nil {
+		if err := d.stop(); err != nil {
+			fmt.Fprintln(stderr, "soak: shutdown:", err)
+			s.unexpectedExit.Add(1)
+		}
+	}
+
+	fmt.Fprintf(stdout, "soak: %v seed=%d: %d identical, %d truncated, %d client aborts, %d retries, %d restarts\n",
+		cfg.duration, cfg.seed, s.httpOK.Load(), s.httpTruncated.Load(), s.httpAborts.Load(), s.httpRetries.Load(), s.restarts.Load())
+	fmt.Fprintf(stdout, "soak: local lane: %d programs, %d fuzzed cancellations; peak residency %d bytes (budget %d)\n",
+		s.localPrograms.Load(), s.localCancels.Load(), s.maxResidency.Load(), budget)
+
+	failed := false
+	fail := func(format string, a ...any) {
+		failed = true
+		fmt.Fprintf(stderr, "soak: FAIL: "+format+"\n", a...)
+	}
+	if n := s.mismatches.Load(); n > 0 {
+		s.diagMu.Lock()
+		fail("%d byte-identity mismatches; first: %s", n, s.firstMu)
+		s.diagMu.Unlock()
+	}
+	if n := s.unexpectedExit.Load(); n > 0 {
+		fail("%d unexpected daemon exits", n)
+	}
+	if n := s.overBudget.Load(); n > 0 {
+		fail("residency exceeded budget %d bytes in %d samples (peak %d)", budget, n, s.maxResidency.Load())
+	}
+	if n := s.localFailures.Load(); n > 0 {
+		fail("%d local-lane contract violations (cancellation/pin/determinism)", n)
+	}
+	if httpLane && s.httpOK.Load() == 0 {
+		fail("HTTP lane completed zero byte-identical responses — the service never answered")
+	}
+	if cfg.local && s.localPrograms.Load() == 0 {
+		fail("local lane analyzed zero programs")
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintln(stdout, "soak: all checks held")
+	return 0
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestLocalLaneSmoke runs the in-process chaos lane alone for a short
+// burst: random programs must analyze deterministically and fuzzed
+// cancellations must not trip any contract check.
+func TestLocalLaneSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-duration", "1s", "-seed", "7", "-clients", "0"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "all checks held") {
+		t.Fatalf("missing success line in output:\n%s", out.String())
+	}
+}
+
+// TestHTTPLaneSmoke soaks an in-process serve.Server over a real HTTP
+// listener: randomized sweeps with injected client disconnects must
+// stay byte-identical to the in-process oracle.
+func TestHTTPLaneSmoke(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", addr, "-duration", "2s", "-seed", "3",
+		"-clients", "2", "-disconnect-prob", "0.3", "-local=false",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestFlagValidation pins the usage errors.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-addr", "x", "-pwcetd", "y"},
+		{"-restart-every", "5s"},
+		{"-pwcetd-fault", "core.force-evict=on"},
+		{"-disconnect-prob", "1.5"},
+		{"-duration", "0s"},
+		{"-local=false"},
+		{"extra-arg"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+	}
+}

@@ -29,10 +29,12 @@ var DefaultCriticalPackages = []string{
 	"repro/internal/malardalen",
 	"repro/internal/batchspec",
 	"repro/internal/serve",
+	"repro/internal/faultpoint",
 	"repro/cmd/pwcet",
 	"repro/cmd/pwcetd",
 	"repro/cmd/paperfigs",
 	"repro/cmd/benchjson",
+	"repro/cmd/soak",
 }
 
 // MapIterDet returns the mapiterdet analyzer restricted to the given

@@ -329,6 +329,12 @@ type Row struct {
 	Target        float64 `json:"target"`
 	FaultFreeWCET int64   `json:"fault_free_wcet"`
 	PWCET         int64   `json:"pwcet"`
+	// Degraded marks a row produced by the engine's degraded mode (a
+	// soft per-query deadline expired and the analysis reran under a
+	// tighter support cap — still a sound upper bound, just less tight;
+	// see core.Result.Degraded). Appended with omitempty so every
+	// non-degraded row keeps the historical bytes.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RowOf builds the row of one (benchmark, query) sweep point.
@@ -340,6 +346,7 @@ func RowOf(benchmark string, q core.Query, r *core.Result) Row {
 		Target:        q.TargetExceedance,
 		FaultFreeWCET: r.FaultFreeWCET,
 		PWCET:         r.PWCET,
+		Degraded:      r.Degraded,
 	}
 	if q.Scenario != nil {
 		pf, la := fault.Components(q.Scenario)

@@ -213,6 +213,14 @@ type Result struct {
 	// PWCET is the probabilistic WCET at TargetExceedance:
 	// FaultFreeWCET + penalty quantile.
 	PWCET int64
+	// Degraded marks a result produced by the engine's degraded mode
+	// (Query.SoftDeadline): the soft deadline expired and the analysis
+	// was retried under a tighter MaxSupport cap. Degraded results are
+	// still sound — coarsening is tail-preserving, so the degraded
+	// pWCET upper-bounds the exact one (the dominance tests pin this) —
+	// they are just less tight. Always false for one-shot Analyze and
+	// for queries without a soft deadline.
+	Degraded bool
 	// HitRefs, FMRefs, MissRefs count reference classifications.
 	HitRefs, FMRefs, MissRefs int
 
@@ -366,19 +374,28 @@ func Analyze(p *program.Program, opt Options) (*Result, error) {
 // pipeline and Combined(pfail, lambda) convolves the two independent
 // penalty distributions.
 func (r *Result) buildDistributions(workers int) error {
+	return r.buildDistributionsCancel(workers, nil)
+}
+
+// buildDistributionsCancel is buildDistributions with a cancellation
+// probe threaded into the convolution reduction trees (nil disables it
+// at zero cost). The probe is consulted at every merge node; on a
+// non-nil probe error the stage unwinds with that error — partial
+// distributions are discarded, never published on the Result.
+func (r *Result) buildDistributionsCancel(workers int, probe func() error) error {
 	cfg := r.Options.Cache
 	penalty := dist.Degenerate(0)
 	if r.FMM != nil {
 		var err error
 		r.PerSet, penalty, err = convolveFMM(r.FMM, cfg, r.Model, r.Options.Mechanism,
-			penalty, r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
+			penalty, r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve, probe)
 		if err != nil {
 			return err
 		}
 		if r.DataFMM != nil {
 			_, penalty, err = convolveFMM(r.DataFMM, *r.Options.DataCache, r.DataModel,
 				r.Options.Mechanism, penalty, r.Options.MaxSupport, r.Options.Coarsen, workers,
-				r.Options.ExactConvolve)
+				r.Options.ExactConvolve, probe)
 			if err != nil {
 				return err
 			}
@@ -398,7 +415,7 @@ func (r *Result) buildDistributions(workers int) error {
 		}
 		r.Transient = tm
 		penalty, err = convolveTransient(penalty, r.HitBounds, cfg, tm,
-			r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve)
+			r.Options.MaxSupport, r.Options.Coarsen, workers, r.Options.ExactConvolve, probe)
 		if err != nil {
 			return err
 		}
@@ -414,9 +431,11 @@ func (r *Result) buildDistributions(workers int) error {
 // partial products that exceed maxSupport, with the configured
 // strategy) and the result is folded into the accumulator; workers
 // bounds the tree's parallelism. exact selects the retained reference
-// executor instead (Options.ExactConvolve).
+// executor instead (Options.ExactConvolve). probe, when non-nil, is the
+// cancellation hook checked at every merge node of the reduction.
 func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.Mechanism,
-	acc *dist.Dist, maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool) ([]*dist.Dist, *dist.Dist, error) {
+	acc *dist.Dist, maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool,
+	probe func() error) ([]*dist.Dist, *dist.Dist, error) {
 	var pwf []float64
 	if mech == cache.MechanismRW {
 		pwf = fault.PWFReliableWay(cfg.Ways, model.PBF) // equation 3
@@ -438,11 +457,14 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 		}
 		perSet[s] = d
 	}
-	reduce := dist.ConvolveAllWith
+	reduce := dist.ConvolveAllCancelWith
 	if exact {
-		reduce = dist.ConvolveAllExactWith
+		reduce = dist.ConvolveAllExactCancelWith
 	}
-	total := reduce(perSet, maxSupport, workers, strategy)
+	total, err := reduce(perSet, maxSupport, workers, strategy, probe)
+	if err != nil {
+		return nil, nil, err
+	}
 	acc = acc.Convolve(total).CoarsenToWith(maxSupport, strategy)
 	return perSet, acc, nil
 }
@@ -457,9 +479,10 @@ func convolveFMM(fmm ipet.FMM, cfg cache.Config, model fault.Model, mech cache.M
 // Ways+1 atoms, a binomial can carry thousands). A zero PMiss
 // contributes nothing and returns the accumulator unchanged, which is
 // what makes Combined(pfail, lambda=0) byte-identical to
-// Permanent(pfail).
+// Permanent(pfail). probe mirrors convolveFMM's cancellation hook.
 func convolveTransient(acc *dist.Dist, hb ipet.HitBounds, cfg cache.Config, tm fault.TransientModel,
-	maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool) (*dist.Dist, error) {
+	maxSupport int, strategy dist.CoarsenStrategy, workers int, exact bool,
+	probe func() error) (*dist.Dist, error) {
 	if tm.PMiss == 0 {
 		return acc, nil
 	}
@@ -475,11 +498,14 @@ func convolveTransient(acc *dist.Dist, hb ipet.HitBounds, cfg cache.Config, tm f
 		}
 		perSet[s] = d.CoarsenToWith(maxSupport, strategy)
 	}
-	reduce := dist.ConvolveAllWith
+	reduce := dist.ConvolveAllCancelWith
 	if exact {
-		reduce = dist.ConvolveAllExactWith
+		reduce = dist.ConvolveAllExactCancelWith
 	}
-	total := reduce(perSet, maxSupport, workers, strategy)
+	total, err := reduce(perSet, maxSupport, workers, strategy, probe)
+	if err != nil {
+		return nil, err
+	}
 	return acc.Convolve(total).CoarsenToWith(maxSupport, strategy), nil
 }
 

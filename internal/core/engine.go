@@ -37,9 +37,14 @@ package core
 // Analyze calls whatever the worker count or completion order.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/absint"
 	"repro/internal/cache"
@@ -47,6 +52,7 @@ import (
 	"repro/internal/chmc"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/faultpoint"
 	"repro/internal/ipet"
 	"repro/internal/program"
 )
@@ -92,6 +98,21 @@ type Query struct {
 	// DataCache, when non-nil, additionally analyzes data accesses
 	// against this configuration (not combinable with PreciseSRB).
 	DataCache *cache.Config
+	// SoftDeadline, when positive, arms the degraded mode: if one
+	// attempt of the query does not finish within this duration, the
+	// engine retries with a geometrically tighter MaxSupport cap
+	// (quartering down to a floor of 16 support points) and marks the
+	// result Degraded instead of failing. The final floor attempt runs
+	// without the soft deadline, so a query only fails outright when
+	// the caller's own context expires. Degradation is sound:
+	// coarsening is tail-preserving, so every degraded pWCET
+	// upper-bounds the exact one (see Result.Degraded). Zero disables
+	// the mechanism — queries run to completion at full precision.
+	//
+	// SoftDeadline is not part of any memo key: artifacts computed by a
+	// degraded attempt are the same pure functions of their keys as
+	// always, and the per-query distribution stage is never memoized.
+	SoftDeadline time.Duration
 }
 
 // options converts the query to the equivalent one-shot Options.
@@ -252,6 +273,13 @@ type Engine struct {
 	maxBytes int64
 	pristine *ipet.System
 
+	// poisoned is set when a query panicked inside the engine (see
+	// PanicError): internal memo state may be partially constructed, so
+	// every later call fails fast with ErrPoisoned instead of touching
+	// it. panicVal retains the first panic for the error message.
+	poisoned atomic.Bool
+	panicVal atomic.Pointer[PanicError]
+
 	mu      sync.Mutex
 	classes map[classKey]*classEntry
 	ctxs    map[ctxKey]*ctxEntry
@@ -361,6 +389,11 @@ func NewEngine(p *program.Program, opt EngineOptions) (*Engine, error) {
 	if opt.Workers < 0 {
 		return nil, fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", opt.Workers)
 	}
+	if faultpoint.Enabled {
+		if err := faultpoint.Hit(faultpoint.SiteEngineBuild); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	// Soundness gate, identical to Analyze: IPET loop-bound constraints
 	// are only valid for verified natural loops on a reducible CFG.
 	if err := cfg.VerifyLoopMetadata(p); err != nil {
@@ -421,7 +454,10 @@ func (e *Engine) class(cfg cache.Config, data bool) *classEntry {
 		e.hits++
 		e.touchLocked(c.node)
 	}
+	// A dependency pin: held by the owning context for its resident
+	// lifetime, not by the query that happens to be constructing it.
 	c.node.pins++
+	c.node.depPins++
 	e.mu.Unlock()
 	c.once.Do(func() {
 		switch {
@@ -459,65 +495,106 @@ func (e *Engine) srb(c *classEntry, data bool) []bool {
 
 // context returns the memoized WCET context of the query's cache pair:
 // a private System warmed by exactly the fault-free WCET solve a
-// one-shot Analyze would run, and the WCET result. Errors are sticky.
+// one-shot Analyze would run, and the WCET result. Genuine analysis
+// errors are sticky; cancellation errors are not — a canceled entry is
+// dropped from the memo map inside its sync.Once, so a caller whose own
+// context is still live retries against a fresh entry instead of
+// inheriting another query's cancellation.
 //
 // The returned context is pinned for the calling query — it cannot be
 // evicted while the analysis uses it. The caller must releaseCtx it
 // (analyze defers this); on error the pin is dropped here.
-func (e *Engine) context(icfg cache.Config, dcfg *cache.Config) (*ctxEntry, error) {
+func (e *Engine) context(qctx context.Context, icfg cache.Config, dcfg *cache.Config) (*ctxEntry, error) {
+	for {
+		ce, err := e.contextOnce(qctx, icfg, dcfg)
+		if err == nil {
+			return ce, nil
+		}
+		if !isCancelErr(err) || qctx.Err() != nil {
+			return nil, err
+		}
+		// The shared computation was canceled by the context of whichever
+		// query created the entry; ours is still live and the canceled
+		// entry is already out of the memo map, so retry computes fresh.
+	}
+}
+
+func (e *Engine) contextOnce(qctx context.Context, icfg cache.Config, dcfg *cache.Config) (*ctxEntry, error) {
 	key := ctxKey{icfg: icfg}
 	if dcfg != nil {
 		key.dcfg, key.hasData = *dcfg, true
 	}
 	e.mu.Lock()
-	ctx := e.ctxs[key]
-	if ctx == nil {
-		ctx = &ctxEntry{fmms: make(map[fmmKey]*fmmEntry)}
-		entry := ctx
-		ctx.node = &memoNode{drop: func(e *Engine) { e.dropCtxLocked(key, entry) }}
-		e.ctxs[key] = ctx
+	ce := e.ctxs[key]
+	if ce == nil {
+		ce = &ctxEntry{fmms: make(map[fmmKey]*fmmEntry)}
+		entry := ce
+		ce.node = &memoNode{drop: func(e *Engine) { e.dropCtxLocked(key, entry) }}
+		e.ctxs[key] = ce
 		e.misses++
 	} else {
 		e.hits++
-		e.touchLocked(ctx.node)
+		e.touchLocked(ce.node)
 	}
-	ctx.node.pins++
+	ce.node.pins++
 	e.mu.Unlock()
-	ctx.once.Do(func() {
-		ctx.ic = e.class(icfg, false) // pins the classification until ctx eviction
+	// analyze's releaseCtx defer is only registered once this returns;
+	// a panic inside the computation (recovered into engine poisoning by
+	// analyzeOnce) must not strand the query pin taken above.
+	defer func() {
+		if r := recover(); r != nil {
+			e.releaseCtx(ce)
+			panic(r)
+		}
+	}()
+	ce.once.Do(func() {
+		ce.ic = e.class(icfg, false) // pins the classification until ctx eviction
 		if key.hasData {
-			ctx.dc = e.class(key.dcfg, true)
+			ce.dc = e.class(key.dcfg, true)
 		}
 		// The clone starts from the pristine phase-1 basis, exactly like
 		// a fresh NewSystem; the WCET solve below pivots only this
 		// clone, so it is the context's sole warm-up — afterwards the
 		// system is only ever read (ComputeFMM workers clone from it).
-		ctx.sys = e.pristine.Clone()
+		ce.sys = e.pristine.Clone()
 		var da *absint.Analyzer
 		var dbase []chmc.Class
-		if ctx.dc != nil {
-			da, dbase = ctx.dc.a, ctx.dc.base
+		if ce.dc != nil {
+			da, dbase = ce.dc.a, ce.dc.base
 		}
-		ctx.wcet, ctx.err = ipet.WCETCombined(ctx.sys, ctx.ic.a, ctx.ic.base, da, dbase)
+		if qctx.Done() != nil {
+			// Abandon the WCET solve between pivot batches when the
+			// creating query's context dies; cleared below so the warm
+			// system never retains a dead query's probe.
+			ce.sys.SetCancel(qctx.Err)
+		}
+		ce.wcet, ce.err = ipet.WCETCombined(ce.sys, ce.ic.a, ce.ic.base, da, dbase)
+		ce.sys.SetCancel(nil)
 		e.mu.Lock()
-		if ctx.err != nil {
+		if ce.err != nil {
 			// The sticky error entry stays for dedup, but it is never
 			// charged or evicted, so it must not pin its classifications.
-			e.unpinClassesLocked(ctx)
+			// Cancellation is not a property of the key: drop the entry so
+			// the next query recomputes instead of seeing a dead context's
+			// error forever.
+			e.unpinClassesLocked(ce)
+			if isCancelErr(ce.err) && e.ctxs[key] == ce {
+				delete(e.ctxs, key)
+			}
 		} else {
-			cost := ctx.sys.WarmMemBytes() + int64(cap(ctx.wcet.BlockCounts))*8
-			e.chargeLocked(ctx.node, cost)
+			cost := ce.sys.WarmMemBytes() + int64(cap(ce.wcet.BlockCounts))*8
+			e.chargeLocked(ce.node, cost)
 		}
 		e.mu.Unlock()
-		if ctx.err == nil {
+		if ce.err == nil {
 			e.emit(ArtifactEvent{Artifact: ArtifactWCET, Cache: icfg, Data: key.hasData})
 		}
 	})
-	if ctx.err != nil {
-		e.releaseCtx(ctx)
-		return nil, ctx.err
+	if ce.err != nil {
+		e.releaseCtx(ce)
+		return nil, ce.err
 	}
-	return ctx, nil
+	return ce, nil
 }
 
 // releaseCtx drops a query's pin on its context and enforces the byte
@@ -534,9 +611,11 @@ func (e *Engine) releaseCtx(ctx *ctxEntry) {
 func (e *Engine) unpinClassesLocked(ctx *ctxEntry) {
 	if ctx.ic != nil {
 		ctx.ic.node.pins--
+		ctx.ic.node.depPins--
 	}
 	if ctx.dc != nil {
 		ctx.dc.node.pins--
+		ctx.dc.node.depPins--
 	}
 }
 
@@ -559,24 +638,35 @@ func (e *Engine) dropCtxLocked(key ctxKey, ctx *ctxEntry) {
 // fmmArtifact returns one memoized FMM artifact of the context. The
 // caller must hold a pin on the context (analyze does, for the whole
 // query), which keeps the context — though not necessarily this FMM
-// entry — resident while the artifact is computed and read.
-func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
+// entry — resident while the artifact is computed and read. Like
+// context, a cancellation error drops the entry and a live caller
+// retries; genuine solver errors stay sticky.
+func (e *Engine) fmmArtifact(qctx context.Context, ce *ctxEntry, key fmmKey) (ipet.FMM, error) {
+	for {
+		fmm, err := e.fmmArtifactOnce(qctx, ce, key)
+		if err == nil || !isCancelErr(err) || qctx.Err() != nil {
+			return fmm, err
+		}
+	}
+}
+
+func (e *Engine) fmmArtifactOnce(qctx context.Context, ce *ctxEntry, key fmmKey) (ipet.FMM, error) {
 	e.mu.Lock()
-	entry := ctx.fmms[key]
+	entry := ce.fmms[key]
 	if entry == nil {
 		entry = &fmmEntry{key: key}
-		entry.node = &memoNode{drop: func(e *Engine) { delete(ctx.fmms, key) }}
-		ctx.fmms[key] = entry
+		entry.node = &memoNode{drop: func(e *Engine) { delete(ce.fmms, key) }}
+		ce.fmms[key] = entry
 		// Compact evicted entries out of the list mirror so evict/
 		// recompute churn on a long-lived context cannot grow it without
 		// bound (at most one live entry per fmmKey survives).
-		live := ctx.fmmList[:0]
-		for _, fe := range ctx.fmmList {
-			if ctx.fmms[fe.key] == fe {
+		live := ce.fmmList[:0]
+		for _, fe := range ce.fmmList {
+			if ce.fmms[fe.key] == fe {
 				live = append(live, fe)
 			}
 		}
-		ctx.fmmList = append(live, entry)
+		ce.fmmList = append(live, entry)
 		e.misses++
 	} else {
 		e.hits++
@@ -584,11 +674,14 @@ func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
 	}
 	e.mu.Unlock()
 	entry.once.Do(func() {
-		c := ctx.ic
+		c := ce.ic
 		if key.data {
-			c = ctx.dc
+			c = ce.dc
 		}
 		opt := ipet.FMMOptions{Workers: e.workers}
+		if qctx.Done() != nil {
+			opt.Ctx = qctx // per-set and pivot-batch cancellation checks
+		}
 		ev := ArtifactEvent{Cache: c.a.Config(), Data: key.data}
 		switch key.kind {
 		case fmmCore:
@@ -613,12 +706,22 @@ func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
 			opt.OnlyWholeSetColumn = true
 			ev.Artifact, ev.Mechanism, ev.Precise = ArtifactFMMColumn, cache.MechanismSRB, true
 		}
-		entry.fmm, entry.err = ipet.ComputeFMM(ctx.sys, c.a, c.base, opt)
-		if entry.err == nil {
+		entry.fmm, entry.err = ipet.ComputeFMM(ce.sys, c.a, c.base, opt)
+		switch {
+		case entry.err == nil:
 			e.mu.Lock()
 			e.chargeLocked(entry.node, entry.fmm.MemBytes())
 			e.mu.Unlock()
 			e.emit(ev)
+		case isCancelErr(entry.err):
+			// Never charged; drop so the next query recomputes instead of
+			// inheriting this query's cancellation. The stale pointer left
+			// in fmmList is filtered by the ce.fmms[fe.key] == fe guards.
+			e.mu.Lock()
+			if ce.fmms[key] == entry {
+				delete(ce.fmms, key)
+			}
+			e.mu.Unlock()
 		}
 	})
 	return entry.fmm, entry.err
@@ -628,14 +731,24 @@ func (e *Engine) fmmArtifact(ctx *ctxEntry, key fmmKey) (ipet.FMM, error) {
 // solving the per-set ILPs on first use. The caller must hold a pin on
 // the context (analyze does); the vector itself is never mutated after
 // construction, so returning the memoized slice directly is safe even
-// across a later eviction.
-func (e *Engine) hitBounds(ctx *ctxEntry) (ipet.HitBounds, error) {
+// across a later eviction. Cancellation errors drop the entry and a
+// live caller retries, exactly like fmmArtifact.
+func (e *Engine) hitBounds(qctx context.Context, ce *ctxEntry) (ipet.HitBounds, error) {
+	for {
+		hb, err := e.hitBoundsOnce(qctx, ce)
+		if err == nil || !isCancelErr(err) || qctx.Err() != nil {
+			return hb, err
+		}
+	}
+}
+
+func (e *Engine) hitBoundsOnce(qctx context.Context, ce *ctxEntry) (ipet.HitBounds, error) {
 	e.mu.Lock()
-	entry := ctx.hbe
+	entry := ce.hbe
 	if entry == nil {
 		entry = &hbEntry{}
-		entry.node = &memoNode{drop: func(e *Engine) { ctx.hbe = nil }}
-		ctx.hbe = entry
+		entry.node = &memoNode{drop: func(e *Engine) { ce.hbe = nil }}
+		ce.hbe = entry
 		e.misses++
 	} else {
 		e.hits++
@@ -643,13 +756,24 @@ func (e *Engine) hitBounds(ctx *ctxEntry) (ipet.HitBounds, error) {
 	}
 	e.mu.Unlock()
 	entry.once.Do(func() {
-		c := ctx.ic
-		entry.hb, entry.err = ipet.ComputeHitBounds(ctx.sys, c.a, c.base, ipet.HitBoundOptions{Workers: e.workers})
-		if entry.err == nil {
+		c := ce.ic
+		opt := ipet.HitBoundOptions{Workers: e.workers}
+		if qctx.Done() != nil {
+			opt.Ctx = qctx
+		}
+		entry.hb, entry.err = ipet.ComputeHitBounds(ce.sys, c.a, c.base, opt)
+		switch {
+		case entry.err == nil:
 			e.mu.Lock()
 			e.chargeLocked(entry.node, entry.hb.MemBytes())
 			e.mu.Unlock()
 			e.emit(ArtifactEvent{Artifact: ArtifactTransientBound, Cache: c.a.Config()})
+		case isCancelErr(entry.err):
+			e.mu.Lock()
+			if ce.hbe == entry {
+				ce.hbe = nil
+			}
+			e.mu.Unlock()
 		}
 	})
 	return entry.hb, entry.err
@@ -658,19 +782,19 @@ func (e *Engine) hitBounds(ctx *ctxEntry) (ipet.HitBounds, error) {
 // fmmFor splices the requested mechanism's fault miss map from the
 // memoized artifacts: the shared f < W columns plus the mechanism's
 // f = W column. The returned FMM is a fresh copy the caller owns.
-func (e *Engine) fmmFor(ctx *ctxEntry, data bool, mech cache.Mechanism, precise bool) (ipet.FMM, error) {
-	core, err := e.fmmArtifact(ctx, fmmKey{kind: fmmCore, data: data})
+func (e *Engine) fmmFor(qctx context.Context, ctx *ctxEntry, data bool, mech cache.Mechanism, precise bool) (ipet.FMM, error) {
+	core, err := e.fmmArtifact(qctx, ctx, fmmKey{kind: fmmCore, data: data})
 	if err != nil {
 		return nil, err
 	}
 	var column ipet.FMM
 	switch {
 	case precise:
-		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmPreciseColumn, data: data})
+		column, err = e.fmmArtifact(qctx, ctx, fmmKey{kind: fmmPreciseColumn, data: data})
 	case mech == cache.MechanismNone:
-		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmNoneColumn, data: data})
+		column, err = e.fmmArtifact(qctx, ctx, fmmKey{kind: fmmNoneColumn, data: data})
 	case mech == cache.MechanismSRB:
-		column, err = e.fmmArtifact(ctx, fmmKey{kind: fmmSRBColumn, data: data})
+		column, err = e.fmmArtifact(qctx, ctx, fmmKey{kind: fmmSRBColumn, data: data})
 	}
 	if err != nil {
 		return nil, err
@@ -693,17 +817,109 @@ func (e *Engine) fmmFor(ctx *ctxEntry, data bool, mech cache.Mechanism, precise 
 // Analyze runs one query against the session, reusing every memoized
 // artifact and computing only the per-query probability weighting,
 // convolution and quantile. The result is byte-identical to a one-shot
-// Analyze call with the same configuration.
+// Analyze call with the same configuration. It is exactly
+// AnalyzeContext under context.Background().
 func (e *Engine) Analyze(q Query) (*Result, error) {
-	return e.analyze(q, e.workers)
+	return e.AnalyzeContext(context.Background(), q)
+}
+
+// AnalyzeContext is Analyze under a context. Cancellation is honored at
+// every expensive boundary: before each memoized artifact, before every
+// per-set ILP solve, between simplex pivot batches inside each solve,
+// and at every merge node of the penalty convolution tree. A canceled
+// query returns an error satisfying errors.Is(err, ctx.Err()) promptly,
+// releases its LRU pins and leaks no goroutines; memoized artifacts
+// are never left poisoned by a cancellation — a partially computed
+// entry is dropped and the next query recomputes it.
+func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
+	return e.analyze(ctx, q, e.workers)
 }
 
 // analyze runs one query with the per-query distribution stages
-// bounded by stageWorkers. AnalyzeBatchStream's parallel path passes 1:
-// the query-level fan-out already saturates the pool, and multiplying
-// it by per-set parallelism would oversubscribe the machine. Stage
-// parallelism never changes any result.
-func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
+// bounded by stageWorkers, dispatching to the degraded-mode retry loop
+// when the query arms a soft deadline. AnalyzeBatchStream's parallel
+// path passes 1: the query-level fan-out already saturates the pool,
+// and multiplying it by per-set parallelism would oversubscribe the
+// machine. Stage parallelism never changes any result.
+func (e *Engine) analyze(qctx context.Context, q Query, stageWorkers int) (*Result, error) {
+	if q.SoftDeadline <= 0 {
+		return e.analyzeOnce(qctx, q, stageWorkers)
+	}
+	return e.analyzeDegrade(qctx, q, stageWorkers)
+}
+
+// analyzeDegrade is the degraded-mode driver (Query.SoftDeadline): each
+// attempt runs under a soft timeout with a geometrically tighter
+// MaxSupport cap (quartered down to a floor of 16), and the final floor
+// attempt runs without the soft timeout so the query completes unless
+// the caller's own context expires. Tightening the cap only engages
+// more coarsening, which is tail-preserving — every degraded result
+// upper-bounds the exact pWCET (asserted by the dominance tests).
+func (e *Engine) analyzeDegrade(qctx context.Context, q Query, stageWorkers int) (*Result, error) {
+	const floorSupport = 16
+	caps := []int{q.MaxSupport}
+	if caps[0] == 0 {
+		caps[0] = DefaultMaxSupport
+	}
+	for c := caps[len(caps)-1] >> 2; c > floorSupport; c >>= 2 {
+		caps = append(caps, c)
+	}
+	if caps[len(caps)-1] > floorSupport {
+		caps = append(caps, floorSupport)
+	}
+	soft := q.SoftDeadline
+	q.SoftDeadline = 0
+	for attempt, c := range caps {
+		q.MaxSupport = c
+		last := attempt == len(caps)-1
+		actx := qctx
+		var cancel context.CancelFunc
+		if !last {
+			actx, cancel = context.WithTimeout(qctx, soft)
+		}
+		res, err := e.analyzeOnce(actx, q, stageWorkers)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			res.Degraded = attempt > 0
+			return res, nil
+		}
+		// Retry only when the soft deadline (not the caller's context)
+		// expired; genuine analysis errors and caller cancellation
+		// propagate unchanged.
+		if last || !errors.Is(err, context.DeadlineExceeded) || qctx.Err() != nil {
+			return nil, err
+		}
+	}
+	panic("core: degraded-mode attempt ladder exhausted without returning")
+}
+
+// analyzeOnce runs one attempt of one query. It is the engine's panic
+// boundary: a panic anywhere in the analysis is recovered into a
+// *PanicError and poisons the engine — internal memo state may be
+// partially constructed, so every later call fails fast with
+// ErrPoisoned. Pool owners (internal/serve) check Poisoned on release
+// and discard poisoned engines instead of reusing them.
+func (e *Engine) analyzeOnce(qctx context.Context, q Query, stageWorkers int) (res *Result, err error) {
+	if e.poisoned.Load() {
+		return nil, e.poisonError()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Value: r, Stack: debug.Stack()}
+			e.poison(pe)
+			res, err = nil, pe
+		}
+	}()
+	if faultpoint.Enabled {
+		if ferr := faultpoint.Hit(faultpoint.SiteAnalyze); ferr != nil {
+			return nil, fmt.Errorf("core: %w", ferr)
+		}
+	}
+	if err := qctx.Err(); err != nil {
+		return nil, err
+	}
 	opt := q.options(e.workers)
 	opt.Reference = e.ref       // echoed in Result.Options like the one-shot path
 	opt.ExactConvolve = e.exact // ditto; buildDistributions reads it off Result.Options
@@ -738,52 +954,58 @@ func (e *Engine) analyze(q Query, stageWorkers int) (*Result, error) {
 		}
 	}
 
-	ctx, err := e.context(opt.Cache, opt.DataCache)
+	ce, err := e.context(qctx, opt.Cache, opt.DataCache)
 	if err != nil {
 		return nil, err
 	}
 	// The context (and through it the classifications) stays pinned —
 	// not evictable — for the rest of the query; the budget is enforced
-	// against the unpinned remainder now and fully on release.
-	defer e.releaseCtx(ctx)
+	// against the unpinned remainder now and fully on release. The defer
+	// also runs when the analysis panics (the recover above fires after
+	// it), so even a poisoning query leaves no pinned bytes behind.
+	defer e.releaseCtx(ce)
 	var fmm ipet.FMM
 	if kind != fault.KindTransient {
-		fmm, err = e.fmmFor(ctx, false, opt.Mechanism, false)
+		fmm, err = e.fmmFor(qctx, ce, false, opt.Mechanism, false)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	res := &Result{
+	res = &Result{
 		Program:       e.p.Name,
 		Options:       opt,
 		Scenario:      scn,
 		Model:         model,
-		FaultFreeWCET: ctx.wcet.WCET,
+		FaultFreeWCET: ce.wcet.WCET,
 		FMM:           fmm,
-		HitRefs:       ctx.wcet.HitRefs,
-		FMRefs:        ctx.wcet.FMRefs,
-		MissRefs:      ctx.wcet.MissRefs,
+		HitRefs:       ce.wcet.HitRefs,
+		FMRefs:        ce.wcet.FMRefs,
+		MissRefs:      ce.wcet.MissRefs,
+	}
+	var probe func() error
+	if qctx.Done() != nil {
+		probe = qctx.Err // checked at every convolution merge node
 	}
 	if kind != fault.KindPermanent {
-		res.HitBounds, err = e.hitBounds(ctx)
+		res.HitBounds, err = e.hitBounds(qctx, ce)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if opt.DataCache != nil {
-		dfmm, err := e.fmmFor(ctx, true, opt.Mechanism, false)
+		dfmm, err := e.fmmFor(qctx, ce, true, opt.Mechanism, false)
 		if err != nil {
 			return nil, err
 		}
 		res.DataModel = dmodel
 		res.DataFMM = dfmm
 	}
-	if err := res.buildDistributions(stageWorkers); err != nil {
+	if err := res.buildDistributionsCancel(stageWorkers, probe); err != nil {
 		return nil, err
 	}
 	if opt.PreciseSRB && opt.Mechanism == cache.MechanismSRB {
-		pfmm, err := e.fmmFor(ctx, false, opt.Mechanism, true)
+		pfmm, err := e.fmmFor(qctx, ce, false, opt.Mechanism, true)
 		if err != nil {
 			return nil, err
 		}
@@ -813,6 +1035,15 @@ type BatchResult struct {
 // that hit the same missing artifact block until its single
 // computation finishes.
 func (e *Engine) AnalyzeBatchStream(queries []Query, deliver func(BatchResult)) {
+	e.AnalyzeBatchStreamContext(context.Background(), queries, deliver)
+}
+
+// AnalyzeBatchStreamContext is AnalyzeBatchStream under a context. When
+// the context dies, every not-yet-started query fails fast with
+// ctx.Err() and in-flight queries abandon their solves at the next
+// cancellation checkpoint — deliver is still called exactly once per
+// query, and all worker goroutines exit before the call returns.
+func (e *Engine) AnalyzeBatchStreamContext(ctx context.Context, queries []Query, deliver func(BatchResult)) {
 	workers := e.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -822,7 +1053,7 @@ func (e *Engine) AnalyzeBatchStream(queries []Query, deliver func(BatchResult)) 
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			res, err := e.analyze(q, e.workers)
+			res, err := e.analyze(ctx, q, e.workers)
 			deliver(BatchResult{Index: i, Query: q, Result: res, Err: err})
 		}
 		return
@@ -839,7 +1070,7 @@ func (e *Engine) AnalyzeBatchStream(queries []Query, deliver func(BatchResult)) 
 				// Stage parallelism 1: the query-level fan-out already
 				// saturates the pool (memoized artifacts still compute
 				// at the engine's Workers, deduplicated by sync.Once).
-				res, err := e.analyze(queries[i], 1)
+				res, err := e.analyze(ctx, queries[i], 1)
 				mu.Lock()
 				deliver(BatchResult{Index: i, Query: queries[i], Result: res, Err: err})
 				mu.Unlock()
@@ -859,10 +1090,19 @@ func (e *Engine) AnalyzeBatchStream(queries []Query, deliver func(BatchResult)) 
 // breaking out of the range on the first error) strands no goroutine —
 // the remaining queries still run to completion in the background.
 func (e *Engine) AnalyzeBatchChan(queries []Query) <-chan BatchResult {
+	return e.AnalyzeBatchChanContext(context.Background(), queries)
+}
+
+// AnalyzeBatchChanContext is AnalyzeBatchChan under a context. The
+// channel still closes after exactly len(queries) results — canceled
+// queries are delivered with Err set, never silently dropped — so an
+// abandoned consumer strands no goroutine and a canceled batch winds
+// down promptly.
+func (e *Engine) AnalyzeBatchChanContext(ctx context.Context, queries []Query) <-chan BatchResult {
 	ch := make(chan BatchResult, len(queries))
 	go func() {
 		defer close(ch)
-		e.AnalyzeBatchStream(queries, func(r BatchResult) { ch <- r })
+		e.AnalyzeBatchStreamContext(ctx, queries, func(r BatchResult) { ch <- r })
 	}()
 	return ch
 }
@@ -871,9 +1111,16 @@ func (e *Engine) AnalyzeBatchChan(queries []Query) <-chan BatchResult {
 // order. On failures it returns the error of the lowest-index failing
 // query — the same one a sequential loop would have hit first.
 func (e *Engine) AnalyzeBatch(queries []Query) ([]*Result, error) {
+	return e.AnalyzeBatchContext(context.Background(), queries)
+}
+
+// AnalyzeBatchContext is AnalyzeBatch under a context: a canceled batch
+// returns ctx.Err() (wrapped per the lowest failing query) after all
+// workers have wound down, with every pin released.
+func (e *Engine) AnalyzeBatchContext(ctx context.Context, queries []Query) ([]*Result, error) {
 	results := make([]*Result, len(queries))
 	firstFailed, firstErr := len(queries), error(nil)
-	e.AnalyzeBatchStream(queries, func(r BatchResult) {
+	e.AnalyzeBatchStreamContext(ctx, queries, func(r BatchResult) {
 		if r.Err != nil {
 			if r.Index < firstFailed {
 				firstFailed, firstErr = r.Index, r.Err

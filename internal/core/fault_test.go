@@ -1,0 +1,182 @@
+//go:build pwcetfault
+
+// Integration coverage for the fault-point sites wired into the engine.
+// These tests only build under -tags pwcetfault; the registry is
+// process-global, so each test disarms everything it touched.
+
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/faultpoint"
+	"repro/internal/lp"
+)
+
+func TestInjectedEngineBuildFault(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	if err := faultpoint.Enable(faultpoint.SiteEngineBuild, "error,count=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewEngine(p, EngineOptions{})
+	var ie *faultpoint.InjectedError
+	if !errors.As(err, &ie) || ie.Site != faultpoint.SiteEngineBuild {
+		t.Fatalf("NewEngine = %v, want injected %s fault", err, faultpoint.SiteEngineBuild)
+	}
+	// count=1 is exhausted: the retry builds cleanly.
+	if _, err := NewEngine(p, EngineOptions{}); err != nil {
+		t.Fatalf("NewEngine after fault window: %v", err)
+	}
+}
+
+func TestInjectedAnalyzeError(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	eng, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(faultpoint.SiteAnalyze, "error,count=1"); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Pfail: 1e-4, Mechanism: cache.MechanismSRB}
+	_, err = eng.Analyze(q)
+	var ie *faultpoint.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Analyze = %v, want *InjectedError", err)
+	}
+	// An injected error is an ordinary failure, not a panic: the engine
+	// must stay healthy and answer the retry byte-identically to a
+	// fresh engine.
+	if eng.Poisoned() {
+		t.Fatal("injected error poisoned the engine")
+	}
+	if ms := eng.MemStats(); ms.PinnedBytes != 0 {
+		t.Fatalf("injected error stranded pins: %+v", ms)
+	}
+	got, err := eng.Analyze(q)
+	if err != nil {
+		t.Fatalf("Analyze after fault window: %v", err)
+	}
+	fresh, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "post-fault", want, got)
+}
+
+func TestInjectedAnalyzePanicPoisons(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	eng, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(faultpoint.SiteAnalyze, "panic,count=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Analyze(Query{Pfail: 1e-4})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Analyze = %v, want *PanicError", err)
+	}
+	if ie, ok := pe.Value.(*faultpoint.InjectedError); !ok || ie.Site != faultpoint.SiteAnalyze {
+		t.Fatalf("PanicError.Value = %v, want the injected fault", pe.Value)
+	}
+	if !eng.Poisoned() {
+		t.Fatal("injected panic did not poison the engine")
+	}
+	if _, err := eng.Analyze(Query{Pfail: 1e-4}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("poisoned engine answered: %v", err)
+	}
+}
+
+// TestInjectedForceEvictByteIdentity: the core memoization contract
+// under chaos — evicting every unpinned artifact on every eviction
+// check still yields byte-identical results, because artifacts are pure
+// functions of their keys.
+func TestInjectedForceEvictByteIdentity(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	queries := []Query{
+		{Pfail: 1e-5, Mechanism: cache.MechanismNone},
+		{Pfail: 1e-4, Mechanism: cache.MechanismRW},
+		{Pfail: 1e-3, Mechanism: cache.MechanismSRB},
+	}
+	ref, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		if want[i], err = ref.Analyze(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := faultpoint.Enable(faultpoint.SiteForceEvict, "on"); err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := NewEngine(p, EngineOptions{MaxArtifactBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got, err := chaos.Analyze(q)
+		if err != nil {
+			t.Fatalf("query %d under forced eviction: %v", i, err)
+		}
+		requireSameResult(t, "forced-eviction", want[i], got)
+	}
+	if ms := chaos.MemStats(); ms.Evictions == 0 {
+		t.Error("force-evict fault never evicted anything")
+	}
+}
+
+// TestInjectedSlowSolveDegrades is the acceptance scenario: a fault
+// making every LP solve artificially slow trips the soft deadline, and
+// the query completes degraded instead of timing out.
+func TestInjectedSlowSolveDegrades(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	eng, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(faultpoint.SiteSlowSolve, "sleep:2ms"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Analyze(Query{Pfail: 1e-4, Mechanism: cache.MechanismSRB, SoftDeadline: time.Millisecond})
+	if err != nil {
+		t.Fatalf("slow-solver query must complete degraded, got %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("slow-solver query not flagged Degraded")
+	}
+	if res.PWCET <= 0 {
+		t.Fatalf("degraded result carries implausible pWCET %d", res.PWCET)
+	}
+}
+
+func TestInjectedPivotLimit(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	p := buildLoop(t)
+	eng, err := NewEngine(p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(faultpoint.SitePivotLimit, "on,count=1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Analyze(Query{Pfail: 1e-4}); !errors.Is(err, lp.ErrPivotLimit) {
+		t.Fatalf("Analyze = %v, want wrapped lp.ErrPivotLimit", err)
+	}
+}

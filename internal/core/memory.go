@@ -25,14 +25,22 @@ package core
 // MaxArtifactBytes below that floor still yields correct results, with
 // everything evicted between queries.
 
+import "repro/internal/faultpoint"
+
 // memoNode is the LRU/accounting handle of one memoized artifact. All
 // fields are guarded by Engine.mu.
 type memoNode struct {
-	cost   int64
-	pins   int
-	linked bool
-	prev   *memoNode
-	next   *memoNode
+	cost int64
+	pins int
+	// depPins counts the subset of pins held by artifact dependency
+	// edges (a resident context's hold on its classifications) rather
+	// than by in-flight queries. pins > depPins therefore means a query
+	// is actively using the artifact right now — the quantity the
+	// PinnedBytes leak metric reports.
+	depPins int
+	linked  bool
+	prev    *memoNode
+	next    *memoNode
 	// drop removes the artifact from its owner map and releases its
 	// dependency pins. Called with Engine.mu held, after the node has
 	// been unlinked and its cost subtracted.
@@ -58,13 +66,41 @@ type MemStats struct {
 	// EvictedBytes is their cumulative estimated size.
 	Evictions    uint64
 	EvictedBytes int64
+	// PinnedBytes and PinnedArtifacts describe the working set pinned
+	// by in-flight queries right now. Steady-state dependency pins (a
+	// resident context's hold on its classification entries) guard
+	// eviction order but are excluded here, so with no query in flight
+	// both are zero — the leak tests assert a canceled query drops back
+	// to zero like a completed one.
+	PinnedBytes     int64
+	PinnedArtifacts int
+	// Poisoned reports the engine panicked and is unusable (see
+	// ErrPoisoned). When the panic left the accounting mutex held, the
+	// snapshot contains only this flag — MemStats never blocks on a
+	// poisoned engine's dead lock.
+	Poisoned bool
 }
 
 // MemStats returns a consistent snapshot of the artifact-memory
-// accounting. Safe for concurrent use.
+// accounting. Safe for concurrent use, including on poisoned engines
+// (which may have died holding the lock — then only Poisoned is set).
 func (e *Engine) MemStats() MemStats {
-	e.mu.Lock()
+	if e.poisoned.Load() {
+		if !e.mu.TryLock() {
+			return MemStats{Poisoned: true}
+		}
+	} else {
+		e.mu.Lock()
+	}
 	defer e.mu.Unlock()
+	var pinned int64
+	var pinnedN int
+	for n := e.lruHead; n != nil; n = n.next {
+		if n.pins > n.depPins {
+			pinned += n.cost
+			pinnedN++
+		}
+	}
 	return MemStats{
 		ArtifactBytes:    e.resident,
 		MaxArtifactBytes: e.maxBytes,
@@ -73,6 +109,9 @@ func (e *Engine) MemStats() MemStats {
 		Misses:           e.misses,
 		Evictions:        e.evictions,
 		EvictedBytes:     e.evictedBytes,
+		PinnedBytes:      pinned,
+		PinnedArtifacts:  pinnedN,
+		Poisoned:         e.poisoned.Load(),
 	}
 }
 
@@ -143,6 +182,23 @@ func (e *Engine) evictNodeLocked(n *memoNode) {
 // resident estimate fits the budget (or only pinned artifacts remain —
 // the working set of in-flight queries is never evicted).
 func (e *Engine) evictLocked() {
+	if faultpoint.Enabled && faultpoint.Fires(faultpoint.SiteForceEvict) {
+		// Chaos injection: evict every unpinned artifact regardless of
+		// the budget. Behavior-invariant by the same argument as regular
+		// eviction — pinned working sets survive, everything else
+		// recomputes byte-identically — which is exactly what the soak
+		// harness asserts under this fault.
+		for {
+			victim := e.lruTail
+			for victim != nil && victim.pins > 0 {
+				victim = victim.prev
+			}
+			if victim == nil {
+				break
+			}
+			e.evictNodeLocked(victim)
+		}
+	}
 	if e.maxBytes <= 0 {
 		return
 	}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 )
 
 // compareShape orders distributions by shift-invariant content:
@@ -218,15 +219,49 @@ type canonNode struct {
 // coarsen bound — still a sound upper bound with the exact support
 // maximum, like every coarsening here.
 func convolveAllOpt(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy) (*Dist, convolveAllStats) {
+	d, st, err := convolveAllOptCancel(ds, maxSupport, workers, strategy, nil)
+	if err != nil {
+		panic("dist: convolveAllOpt canceled without a probe: " + err.Error())
+	}
+	return d, st
+}
+
+// convolveAllOptCancel is convolveAllOpt with an optional cancellation
+// probe, consulted once per merge node (on whichever goroutine computes
+// it). The first non-nil probe error sticks: remaining nodes skip their
+// convolutions, every in-flight done channel still closes — no
+// goroutine outlives the call — and the error is returned in place of a
+// distribution. A nil probe adds no per-node overhead beyond one nil
+// check.
+func convolveAllOptCancel(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy, probe func() error) (*Dist, convolveAllStats, error) {
 	var st convolveAllStats
+	var abortMu sync.Mutex
+	var abortErr error
+	// checkCancel consults the probe under a sticky-error lock: once any
+	// node observes cancellation, every later check returns the same
+	// error without re-probing.
+	checkCancel := func() error {
+		if probe == nil {
+			return nil
+		}
+		abortMu.Lock()
+		defer abortMu.Unlock()
+		if abortErr == nil {
+			abortErr = probe()
+		}
+		return abortErr
+	}
+	if err := checkCancel(); err != nil {
+		return nil, st, err
+	}
 	if len(ds) == 0 {
-		return Degenerate(0), st
+		return Degenerate(0), st, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(ds) == 1 {
-		return ds[0].CoarsenToWith(maxSupport, strategy), st
+		return ds[0].CoarsenToWith(maxSupport, strategy), st, nil
 	}
 	n := len(ds)
 	sorted := canonicalSort(ds)
@@ -311,6 +346,9 @@ func convolveAllOpt(ds []*Dist, maxSupport, workers int, strategy CoarsenStrateg
 	}
 
 	compute := func(nd *canonNode, conv func(l, r *Dist) *Dist) {
+		if checkCancel() != nil {
+			return // a child may have been skipped; leave result nil
+		}
 		l, r := canon[nd.l].result, canon[nd.r].result
 		if softTarget > 0 && int64(l.Len())*int64(r.Len()) > softPairLimit {
 			half := nd.eps / 2
@@ -367,8 +405,16 @@ func convolveAllOpt(ds []*Dist, maxSupport, workers int, strategy CoarsenStrateg
 		}
 		<-canon[rootID].done
 	}
+	if probe != nil {
+		abortMu.Lock()
+		err := abortErr
+		abortMu.Unlock()
+		if err != nil {
+			return nil, st, err
+		}
+	}
 	for _, nd := range internal {
 		st.softSpent += nd.spent
 	}
-	return canon[rootID].result.Shift(nodeDelta[2*n-2]), st
+	return canon[rootID].result.Shift(nodeDelta[2*n-2]), st, nil
 }

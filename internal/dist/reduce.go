@@ -180,6 +180,17 @@ func ConvolveAllWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrate
 	return d
 }
 
+// ConvolveAllCancelWith is ConvolveAllWith with a cancellation probe:
+// probe (typically a context.Context's Err method) is consulted once
+// per merge node, and the first non-nil error abandons the remaining
+// convolutions and is returned in place of a result. Cancellation is
+// clean — every merge goroutine finishes before the call returns — and
+// a nil probe makes the function equivalent to ConvolveAllWith.
+func ConvolveAllCancelWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy, probe func() error) (*Dist, error) {
+	d, _, err := convolveAllOptCancel(ds, maxSupport, workers, strategy, probe)
+	return d, err
+}
+
 // ConvolveAllExact is ConvolveAllExactWith with the default
 // CoarsenLeastError strategy.
 func ConvolveAllExact(ds []*Dist, maxSupport, workers int) *Dist {
@@ -197,14 +208,43 @@ func ConvolveAllExact(ds []*Dist, maxSupport, workers int) *Dist {
 // optimized path and costs O(len(ds)) convolutions regardless of input
 // structure.
 func ConvolveAllExactWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy) *Dist {
+	d, err := ConvolveAllExactCancelWith(ds, maxSupport, workers, strategy, nil)
+	if err != nil {
+		panic("dist: ConvolveAllExactWith canceled without a probe: " + err.Error())
+	}
+	return d
+}
+
+// ConvolveAllExactCancelWith is ConvolveAllExactWith with a
+// cancellation probe, under the same contract as ConvolveAllCancelWith:
+// the probe is consulted once per merge node, the first non-nil error
+// sticks and is returned, every node goroutine finishes before the
+// call returns, and a nil probe costs nothing.
+func ConvolveAllExactCancelWith(ds []*Dist, maxSupport, workers int, strategy CoarsenStrategy, probe func() error) (*Dist, error) {
+	var abortMu sync.Mutex
+	var abortErr error
+	checkCancel := func() error {
+		if probe == nil {
+			return nil
+		}
+		abortMu.Lock()
+		defer abortMu.Unlock()
+		if abortErr == nil {
+			abortErr = probe()
+		}
+		return abortErr
+	}
+	if err := checkCancel(); err != nil {
+		return nil, err
+	}
 	if len(ds) == 0 {
-		return Degenerate(0)
+		return Degenerate(0), nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(ds) == 1 {
-		return ds[0].CoarsenToWith(maxSupport, strategy)
+		return ds[0].CoarsenToWith(maxSupport, strategy), nil
 	}
 	n := len(ds)
 	sorted := canonicalSort(ds)
@@ -216,9 +256,12 @@ func ConvolveAllExactWith(ds []*Dist, maxSupport, workers int, strategy CoarsenS
 		// The plan lists nodes in dependency order (children always
 		// precede parents): execute it sequentially.
 		for k, st := range plan {
+			if err := checkCancel(); err != nil {
+				return nil, err
+			}
 			results[n+k] = results[st.l].Convolve(results[st.r]).CoarsenToWith(maxSupport, strategy)
 		}
-		return results[2*n-2]
+		return results[2*n-2], nil
 	}
 
 	// Dependency-driven parallel execution: one goroutine per internal
@@ -243,14 +286,21 @@ func ConvolveAllExactWith(ds []*Dist, maxSupport, workers int, strategy CoarsenS
 			// The node's split convolution draws any extra parallelism
 			// from the same semaphore (its own slot counts as one), so
 			// concurrent big merges can never oversubscribe the pool
-			// to workers^2 goroutines.
-			results[id] = convolveWorkersSem(results[st.l], results[st.r], workers, sem).CoarsenToWith(maxSupport, strategy)
+			// to workers^2 goroutines. On cancellation the node is
+			// skipped (its result stays nil — parents skip too) but its
+			// done still closes, so no goroutine outlives the call.
+			if checkCancel() == nil {
+				results[id] = convolveWorkersSem(results[st.l], results[st.r], workers, sem).CoarsenToWith(maxSupport, strategy)
+			}
 			<-sem
 			close(done[id])
 		}(n+k, st)
 	}
 	<-done[2*n-2]
-	return results[2*n-2]
+	if err := checkCancel(); err != nil {
+		return nil, err
+	}
+	return results[2*n-2], nil
 }
 
 // parallelFor runs body(chunk) for every chunk in [0, chunks) on the

@@ -1,0 +1,258 @@
+//go:build pwcetfault
+
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Enabled gates the fault-injection registry: this is the chaos build
+// (-tags pwcetfault), so the registry below is live.
+const Enabled = true
+
+// action is the effect an armed site applies when it fires.
+type action int8
+
+const (
+	actError action = iota
+	actPanic
+	actSleep
+	actOn
+)
+
+// point is one armed injection site. All counting state is guarded by
+// the registry mutex, so the firing sequence is a deterministic
+// function of the spec and the order of hits alone.
+type point struct {
+	action action
+	sleep  time.Duration
+	every  int // fire on every Nth eligible hit (>= 1)
+	after  int // skip the first N hits
+	count  int // fire at most N times (0 = unlimited)
+	prob   float64
+	rng    *rand.Rand
+	hits   int
+	fired  int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// decide consumes one hit and reports whether the site fires for it.
+// Called with mu held.
+func (p *point) decide() bool {
+	p.hits++
+	h := p.hits - p.after
+	if h <= 0 {
+		return false
+	}
+	if p.every > 1 && (h-1)%p.every != 0 {
+		return false
+	}
+	if p.count > 0 && p.fired >= p.count {
+		return false
+	}
+	if p.prob < 1 && p.rng.Float64() >= p.prob {
+		return false
+	}
+	p.fired++
+	return true
+}
+
+// Hit consumes one hit of the site and applies its armed action:
+// returns an *InjectedError (action "error"), panics with one (action
+// "panic"), sleeps (action "sleep"), or does nothing ("on" and unarmed
+// sites).
+func Hit(site string) error {
+	mu.Lock()
+	p := points[site]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	fire := p.decide()
+	act, sleep := p.action, p.sleep
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch act {
+	case actError:
+		return &InjectedError{Site: site}
+	case actPanic:
+		panic(&InjectedError{Site: site})
+	case actSleep:
+		time.Sleep(sleep)
+		return nil
+	case actOn:
+		return nil
+	default:
+		panic(fmt.Sprintf("faultpoint: unknown action %d", int(act)))
+	}
+}
+
+// Fires consumes one hit of the site and reports whether its
+// control-flow toggle fired. Only sites armed with action "on" ever
+// fire here; Hit-style actions at a Fires call site would be silently
+// meaningless.
+func Fires(site string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[site]
+	if p == nil || p.action != actOn {
+		return false
+	}
+	return p.decide()
+}
+
+// Enable arms the named site with the given spec (see the package doc
+// for the grammar), replacing any previous arming and resetting its
+// counters.
+func Enable(site, spec string) error {
+	if !knownSite(site) {
+		return fmt.Errorf("faultpoint: unknown site %q (known: %s)", site, strings.Join(Sites(), ", "))
+	}
+	p, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("faultpoint: site %s: %w", site, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[site] = p
+	return nil
+}
+
+// EnableSpecs arms several sites from a semicolon-separated list of
+// site=spec pairs — the pwcetd -fault flag format.
+func EnableSpecs(specs string) error {
+	if specs == "" {
+		return nil
+	}
+	for _, part := range strings.Split(specs, ";") {
+		site, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faultpoint: malformed spec %q (want site=spec)", part)
+		}
+		if err := Enable(strings.TrimSpace(site), spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disable disarms the named site.
+func Disable(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, site)
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+}
+
+// Active lists the armed sites in sorted order.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	sites := make([]string, 0, len(points))
+	//pwcetlint:mapiterdet collected into a slice and sorted before use
+	for s := range points {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+func knownSite(site string) bool {
+	for _, s := range Sites() {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSpec parses "action[:param][,k=v...]" into an armed point.
+func parseSpec(spec string) (*point, error) {
+	parts := strings.Split(spec, ",")
+	p := &point{prob: 1, every: 1}
+	var seed int64 = 1
+	act, param, _ := strings.Cut(parts[0], ":")
+	switch act {
+	case "error":
+		p.action = actError
+	case "panic":
+		p.action = actPanic
+	case "sleep":
+		d, err := time.ParseDuration(param)
+		if err != nil {
+			return nil, fmt.Errorf("sleep duration %q: %w", param, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("sleep duration %v is negative", d)
+		}
+		p.action = actSleep
+		p.sleep = d
+	case "on":
+		p.action = actOn
+	default:
+		return nil, fmt.Errorf("unknown action %q", act)
+	}
+	if p.action != actSleep && param != "" {
+		return nil, fmt.Errorf("action %q takes no parameter (got %q)", act, param)
+	}
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed modifier %q (want key=value)", kv)
+		}
+		switch k {
+		case "every":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("every=%q must be an integer >= 1", v)
+			}
+			p.every = n
+		case "after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("after=%q must be an integer >= 0", v)
+			}
+			p.after = n
+		case "count":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("count=%q must be an integer >= 1", v)
+			}
+			p.count = n
+		case "prob":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("prob=%q must be in [0,1]", v)
+			}
+			p.prob = f
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed=%q must be an integer", v)
+			}
+			seed = n
+		default:
+			return nil, fmt.Errorf("unknown modifier %q", k)
+		}
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	return p, nil
+}

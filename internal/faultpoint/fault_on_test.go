@@ -1,0 +1,234 @@
+//go:build pwcetfault
+
+package faultpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm is Enable with registry cleanup: the package registry is process
+// global, so every test disarms everything it touched.
+func arm(t *testing.T, site, spec string) {
+	t.Helper()
+	if err := Enable(site, spec); err != nil {
+		t.Fatalf("Enable(%s, %q): %v", site, spec, err)
+	}
+	t.Cleanup(Reset)
+}
+
+func TestEnabledConst(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the pwcetfault build tag")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	arm(t, SiteAnalyze, "error")
+	err := Hit(SiteAnalyze)
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Hit = %v, want *InjectedError", err)
+	}
+	if ie.Site != SiteAnalyze {
+		t.Fatalf("InjectedError.Site = %q", ie.Site)
+	}
+	if !strings.Contains(ie.Error(), SiteAnalyze) {
+		t.Fatalf("error text %q does not name the site", ie.Error())
+	}
+	// Unarmed sites stay silent even while another is armed.
+	if err := Hit(SiteEngineBuild); err != nil {
+		t.Fatalf("unarmed site returned %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	arm(t, SiteSlowSolve, "panic")
+	defer func() {
+		r := recover()
+		ie, ok := r.(*InjectedError)
+		if !ok {
+			t.Fatalf("recovered %v, want *InjectedError", r)
+		}
+		if ie.Site != SiteSlowSolve {
+			t.Fatalf("panic names site %q", ie.Site)
+		}
+	}()
+	Hit(SiteSlowSolve)
+	t.Fatal("panic action did not panic")
+}
+
+func TestSleepAction(t *testing.T) {
+	arm(t, SiteAnalyze, "sleep:30ms")
+	start := time.Now()
+	if err := Hit(SiteAnalyze); err != nil {
+		t.Fatalf("sleep action returned error %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("sleep action returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestOnActionAndFires(t *testing.T) {
+	arm(t, SiteForceEvict, "on")
+	if !Fires(SiteForceEvict) {
+		t.Fatal("armed on-site did not fire")
+	}
+	// "on" is a pure control-flow toggle: Hit treats it as a no-op.
+	if err := Hit(SiteForceEvict); err != nil {
+		t.Fatalf("Hit on an on-site returned %v", err)
+	}
+	// Fires never triggers Hit-style actions: an error-armed site is
+	// meaningless at a Fires call site and must report false.
+	arm(t, SiteDisconnect, "error")
+	if Fires(SiteDisconnect) {
+		t.Fatal("Fires triggered on an error-armed site")
+	}
+	if Fires(SiteAnalyze) {
+		t.Fatal("Fires triggered on an unarmed site")
+	}
+}
+
+// TestSchedule pins the deterministic hit arithmetic: with
+// after=2,every=3,count=2 exactly hits 3 and 6 fire, nothing after.
+func TestSchedule(t *testing.T) {
+	arm(t, SiteAnalyze, "error,after=2,every=3,count=2")
+	var fired []int
+	for hit := 1; hit <= 12; hit++ {
+		if Hit(SiteAnalyze) != nil {
+			fired = append(fired, hit)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 6 {
+		t.Fatalf("fired at hits %v, want [3 6]", fired)
+	}
+}
+
+// TestProbDeterministic: prob uses a seeded PRNG, so the firing pattern
+// is a pure function of the spec — re-arming with the same seed replays
+// it exactly, and a different seed diverges (over enough trials).
+func TestProbDeterministic(t *testing.T) {
+	pattern := func(spec string) string {
+		arm(t, SiteAnalyze, spec)
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if Hit(SiteAnalyze) != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a := pattern("error,prob=0.5,seed=7")
+	b := pattern("error,prob=0.5,seed=7")
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "0") || !strings.Contains(a, "1") {
+		t.Fatalf("prob=0.5 produced a degenerate pattern %s", a)
+	}
+	if c := pattern("error,prob=0.5,seed=8"); c == a {
+		t.Fatal("different seeds produced identical 64-hit patterns")
+	}
+}
+
+func TestEnableSpecsMultiSite(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := EnableSpecs("core.analyze=error,count=1; lp.slow-solve=sleep:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	want := []string{SiteAnalyze, SiteSlowSolve}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Active() = %v, want %v", got, want)
+	}
+	if Hit(SiteAnalyze) == nil {
+		t.Fatal("first armed site inert")
+	}
+	if err := EnableSpecs(""); err != nil {
+		t.Fatalf("empty spec list rejected: %v", err)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	arm(t, SiteAnalyze, "error")
+	arm(t, SiteEngineBuild, "error")
+	Disable(SiteAnalyze)
+	if Hit(SiteAnalyze) != nil {
+		t.Fatal("disabled site still fires")
+	}
+	if Hit(SiteEngineBuild) == nil {
+		t.Fatal("Disable disarmed an unrelated site")
+	}
+	Reset()
+	if Hit(SiteEngineBuild) != nil {
+		t.Fatal("Reset left a site armed")
+	}
+	if Active() != nil && len(Active()) != 0 {
+		t.Fatalf("Active() after Reset = %v", Active())
+	}
+}
+
+// TestEnableReplacesAndResetsCounters: re-arming a site restarts its
+// hit counters from zero.
+func TestEnableReplacesAndResetsCounters(t *testing.T) {
+	arm(t, SiteAnalyze, "error,count=1")
+	if Hit(SiteAnalyze) == nil {
+		t.Fatal("count=1 did not fire on first hit")
+	}
+	if Hit(SiteAnalyze) != nil {
+		t.Fatal("count=1 fired twice")
+	}
+	arm(t, SiteAnalyze, "error,count=1")
+	if Hit(SiteAnalyze) == nil {
+		t.Fatal("re-armed site did not restart its count")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []struct{ site, spec string }{
+		{"no.such.site", "error"},
+		{SiteAnalyze, "explode"},
+		{SiteAnalyze, "error:param"},
+		{SiteAnalyze, "sleep"},
+		{SiteAnalyze, "sleep:-5ms"},
+		{SiteAnalyze, "sleep:soon"},
+		{SiteAnalyze, "error,every=0"},
+		{SiteAnalyze, "error,after=-1"},
+		{SiteAnalyze, "error,count=0"},
+		{SiteAnalyze, "error,prob=1.5"},
+		{SiteAnalyze, "error,prob=often"},
+		{SiteAnalyze, "error,seed=x"},
+		{SiteAnalyze, "error,bogus=1"},
+		{SiteAnalyze, "error,count"},
+	}
+	for _, c := range bad {
+		if err := Enable(c.site, c.spec); err == nil {
+			t.Errorf("Enable(%s, %q) accepted", c.site, c.spec)
+		}
+	}
+	if err := EnableSpecs("core.analyze"); err == nil {
+		t.Error("EnableSpecs without '=' accepted")
+	}
+	if len(Active()) != 0 {
+		t.Fatalf("rejected specs armed sites: %v", Active())
+	}
+}
+
+func TestSitesCatalog(t *testing.T) {
+	sites := Sites()
+	for _, want := range []string{SiteEngineBuild, SiteAnalyze, SiteForceEvict, SiteSlowSolve, SitePivotLimit, SiteDisconnect} {
+		found := false
+		for _, s := range sites {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("site %s missing from Sites()", want)
+		}
+	}
+}

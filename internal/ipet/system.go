@@ -228,6 +228,14 @@ func (s *System) Clone() *System {
 // allocating; see lp.Simplex.CopyFrom.
 func (s *System) resetFrom(src *System) error { return s.sx.CopyFrom(src.sx) }
 
+// SetCancel installs (or, with nil, removes) a cancellation probe on
+// the system's simplex: every subsequent MaximizeBlockWeights consults
+// it between pivot batches and abandons the solve with the probe's
+// error — typically a context.Context's Err method. The probe is
+// per-System state: clones start without one, and resetFrom never
+// copies it. See lp.Simplex.SetCancel.
+func (s *System) SetCancel(probe func() error) { s.sx.SetCancel(probe) }
+
 // WriteLP dumps the system with the given block weights as a CPLEX LP
 // file (via lp.WriteLP), for debugging or solving with an external
 // solver. Variables are named eN (edges), source and sink.

@@ -11,6 +11,7 @@ package ipet
 // caps the binomial extra-miss distribution of each set.
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -53,6 +54,10 @@ type HitBoundOptions struct {
 	// every worker count: each set's bound is solved on a private
 	// simplex restored to the same pristine basis.
 	Workers int
+	// Ctx, when non-nil, cancels the computation under the same
+	// contract as FMMOptions.Ctx: checked before every per-set solve
+	// and between pivot batches inside each solve.
+	Ctx context.Context
 }
 
 // ComputeHitBounds bounds, for every cache set, the number of
@@ -77,8 +82,16 @@ func ComputeHitBounds(sys *System, a *absint.Analyzer, base []chmc.Class, opt Hi
 	errs := make([]error, cfg.Sets)
 	if workers == 1 {
 		ws := sys.Clone()
+		if opt.Ctx != nil {
+			ws.SetCancel(opt.Ctx.Err)
+		}
 		weights := make([]float64, len(sys.p.Blocks))
 		for set := 0; set < cfg.Sets; set++ {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if hb[set], errs[set] = computeHitBound(ws, sys, a, base, set, weights); errs[set] != nil {
 				return nil, errs[set]
 			}
@@ -93,8 +106,17 @@ func ComputeHitBounds(sys *System, a *absint.Analyzer, base []chmc.Class, opt Hi
 		go func() {
 			defer wg.Done()
 			ws := sys.Clone()
+			if opt.Ctx != nil {
+				ws.SetCancel(opt.Ctx.Err)
+			}
 			weights := make([]float64, len(sys.p.Blocks))
 			for set := range jobs {
+				if opt.Ctx != nil {
+					if err := opt.Ctx.Err(); err != nil {
+						errs[set] = err
+						continue
+					}
+				}
 				hb[set], errs[set] = computeHitBound(ws, sys, a, base, set, weights)
 			}
 		}()

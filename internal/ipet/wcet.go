@@ -1,6 +1,7 @@
 package ipet
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -133,6 +134,12 @@ type FMMOptions struct {
 	// to the same pristine basis, so neither scheduling nor the number
 	// of workers can influence any pivot path.
 	Workers int
+	// Ctx, when non-nil, cancels the computation: it is checked before
+	// every per-set solve and between pivot batches inside each solve
+	// (via the worker simplexes' cancel probes), so ComputeFMM returns
+	// Ctx.Err() promptly — wrapped or bare, errors.Is-matchable — with
+	// every worker goroutine finished. nil means never canceled.
+	Ctx context.Context
 }
 
 // ComputeFMM builds the fault miss map for every set and fault count
@@ -174,8 +181,16 @@ func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptio
 	errs := make([]error, cfg.Sets)
 	if workers == 1 {
 		ws := sys.Clone()
+		if opt.Ctx != nil {
+			ws.SetCancel(opt.Ctx.Err)
+		}
 		sc := newFMMScratch(sys, a)
 		for set := 0; set < cfg.Sets; set++ {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set, sc); errs[set] != nil {
 				return nil, errs[set]
 			}
@@ -190,8 +205,20 @@ func ComputeFMM(sys *System, a *absint.Analyzer, base []chmc.Class, opt FMMOptio
 		go func() {
 			defer wg.Done()
 			ws := sys.Clone()
+			if opt.Ctx != nil {
+				ws.SetCancel(opt.Ctx.Err)
+			}
 			sc := newFMMScratch(sys, a)
 			for set := range jobs {
+				// A canceled context fails the remaining sets cheaply:
+				// the jobs channel still drains (the feeder never
+				// blocks forever) but no further ILPs run.
+				if opt.Ctx != nil {
+					if err := opt.Ctx.Err(); err != nil {
+						errs[set] = err
+						continue
+					}
+				}
 				fmm[set], errs[set] = computeFMMRow(ws, sys, a, base, opt, set, sc)
 			}
 		}()

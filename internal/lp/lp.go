@@ -39,6 +39,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/faultpoint"
 )
 
 // Op is a constraint comparison operator.
@@ -135,7 +137,16 @@ const (
 	// iterTruncated means the pivot budget ran out: the basis is
 	// feasible but optimality is unproven.
 	iterTruncated
+	// iterCanceled means the cancel probe fired mid-solve: the basis is
+	// feasible but the solve was abandoned; the probe's error is in
+	// s.cancelErr.
+	iterCanceled
 )
+
+// cancelCheckMask batches cancel-probe calls: the probe runs once every
+// 64 pivots (and before the first), keeping the per-pivot overhead of
+// an armed probe to a masked counter test.
+const cancelCheckMask = 63
 
 // Simplex is a simplex tableau over a fixed constraint set. After
 // construction (which runs phase 1), Maximize may be called repeatedly
@@ -174,8 +185,24 @@ type Simplex struct {
 	dirty      []bool
 	dirtyRows  []int
 
+	// cancel, when non-nil, is probed every cancelCheckMask+1 pivots of
+	// phase 2; a non-nil probe error abandons the solve and Maximize
+	// returns it (wrapped). Clone does not copy the probe: worker
+	// clones arm their own. Phase 1 runs at construction, before any
+	// probe can be set, and is never canceled.
+	cancel    func() error
+	cancelErr error
+
 	nz []int // scratch: nonzero columns of the current pivot row
 }
+
+// SetCancel installs (or, with nil, removes) the cancellation probe
+// consulted between pivot batches of every subsequent Maximize. The
+// probe must be cheap and must return a non-nil error exactly when the
+// solve should be abandoned — typically context.Context.Err. A canceled
+// Maximize leaves the tableau in a feasible (warm-startable) state; the
+// next Maximize after clearing the probe proceeds normally.
+func (s *Simplex) SetCancel(probe func() error) { s.cancel = probe }
 
 // NewSimplex builds the tableau for the given constraints over n
 // structural variables, runs phase 1 and compacts the artificial
@@ -400,6 +427,12 @@ func (s *Simplex) iterate(obj []float64) iterStatus {
 	}
 	stall := 0
 	for iter := 0; iter < s.budget; iter++ {
+		if s.cancel != nil && iter&cancelCheckMask == 0 {
+			if err := s.cancel(); err != nil {
+				s.cancelErr = err
+				return iterCanceled
+			}
+		}
 		bland := stall > 2*(len(s.rows)+10)
 		j := s.chooseEntering(obj, bland)
 		if j < 0 {
@@ -538,6 +571,19 @@ func (s *Simplex) Maximize(c []float64) (*Solution, error) {
 	if len(c) != s.n {
 		return nil, fmt.Errorf("lp: objective has %d entries, want %d", len(c), s.n)
 	}
+	if faultpoint.Enabled {
+		// lp.slow-solve wedges the solver (chaos builds only): a sleep
+		// here makes every objective slow, driving callers into their
+		// soft-deadline degradation path.
+		if err := faultpoint.Hit(faultpoint.SiteSlowSolve); err != nil {
+			return nil, fmt.Errorf("lp: %w", err)
+		}
+		// lp.pivot-limit simulates budget exhaustion without burning
+		// the budget, exercising the same unsound-truncation surface.
+		if faultpoint.Fires(faultpoint.SitePivotLimit) {
+			return nil, fmt.Errorf("lp: injected fault: %w", ErrPivotLimit)
+		}
+	}
 	if s.truncated {
 		return nil, fmt.Errorf("lp: phase 1 incomplete: %w", ErrPivotLimit)
 	}
@@ -554,6 +600,8 @@ func (s *Simplex) Maximize(c []float64) (*Solution, error) {
 		return &Solution{Status: Unbounded}, nil
 	case iterTruncated:
 		return nil, fmt.Errorf("lp: objective over %d rows x %d cols: %w", len(s.rows), s.ncols, ErrPivotLimit)
+	case iterCanceled:
+		return nil, fmt.Errorf("lp: solve canceled: %w", s.cancelErr)
 	default:
 		panic(fmt.Sprintf("lp: unknown iterate status %d", int(st)))
 	}

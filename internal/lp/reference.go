@@ -15,6 +15,12 @@ package lp
 func (s *Simplex) referenceIterate(obj []float64) iterStatus {
 	stall := 0
 	for iter := 0; iter < s.budget; iter++ {
+		if s.cancel != nil && iter&cancelCheckMask == 0 {
+			if err := s.cancel(); err != nil {
+				s.cancelErr = err
+				return iterCanceled
+			}
+		}
 		bland := stall > 2*(len(s.rows)+10)
 		j := s.chooseEntering(obj, bland)
 		if j < 0 {

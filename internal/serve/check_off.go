@@ -1,0 +1,8 @@
+//go:build !pwcetcheck
+
+package serve
+
+// checkEnabled is off in regular builds: a double Release is absorbed
+// as a no-op (the released flag already makes it harmless); pwcetcheck
+// builds panic instead so tests catch the bug at its source.
+const checkEnabled = false

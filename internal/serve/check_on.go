@@ -1,0 +1,8 @@
+//go:build pwcetcheck
+
+package serve
+
+// checkEnabled arms the package's internal sanity assertions, mirroring
+// internal/dist's pwcetcheck mode: a double-released pool Handle panics
+// at the offending call site instead of silently racing the refcount.
+const checkEnabled = true

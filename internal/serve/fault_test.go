@@ -1,0 +1,55 @@
+//go:build pwcetfault
+
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// TestInjectedDisconnectTruncatesWithoutWedging: the serve.disconnect
+// fault behaves exactly like a client vanishing mid-stream — the NDJSON
+// stream is cut at a row boundary, the disconnect is counted, and the
+// pooled engine is returned so the next request streams the full sweep.
+func TestInjectedDisconnectTruncatesWithoutWedging(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Enable(faultpoint.SiteDisconnect, "on,after=2,count=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{})
+	spec := `{"benchmarks":["bs"],"pfails":[1e-5,1e-4],"mechanisms":["none","srb"]}`
+
+	resp := postSpec(t, ts.URL, spec, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rows := readRows(t, resp.Body)
+	if len(rows) != 2 {
+		t.Fatalf("streamed %d rows, want 2 before the injected disconnect", len(rows))
+	}
+
+	// The fault window (count=1) is spent: the retry must stream all 4
+	// rows from the same, un-wedged pool.
+	resp = postSpec(t, ts.URL, spec, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d", resp.StatusCode)
+	}
+	if rows := readRows(t, resp.Body); len(rows) != 4 {
+		t.Fatalf("retry streamed %d rows, want 4", len(rows))
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	m := decodeMetrics(t, mresp.Body)
+	if m.ClientDisconnects != 1 {
+		t.Errorf("client_disconnects = %d, want 1", m.ClientDisconnects)
+	}
+	if m.PanicsRecovered != 0 || m.BatchErrors != 0 {
+		t.Errorf("injected disconnect misclassified: %+v", m)
+	}
+}

@@ -126,6 +126,10 @@ type metrics struct {
 	batchErrors       counter // batches terminated by an analysis error or timeout
 	rowsStreamed      counter // NDJSON result rows written
 	clientDisconnects counter // batches cut short by the client
+	canceled          counter // queries canceled via the request context
+	timeouts          counter // batches/queries ended by a deadline
+	degradedRows      counter // rows served by the engine's degraded mode
+	panicsRecovered   counter // panics recovered into errors (handler or engine)
 
 	specParse    histogram // spec decode+validate latency
 	enginePrep   histogram // pool acquire latency (cold = engine build)
@@ -144,6 +148,10 @@ type metricsJSON struct {
 	BatchErrors       uint64 `json:"batch_errors"`
 	RowsStreamed      uint64 `json:"rows_streamed"`
 	ClientDisconnects uint64 `json:"client_disconnects"`
+	Canceled          uint64 `json:"canceled"`
+	Timeouts          uint64 `json:"timeout"`
+	DegradedRows      uint64 `json:"degraded"`
+	PanicsRecovered   uint64 `json:"panic_recovered"`
 
 	Pool PoolStats `json:"engine_pool"`
 
@@ -164,6 +172,10 @@ func (m *metrics) snapshot(pool PoolStats) metricsJSON {
 		BatchErrors:       m.batchErrors.get(),
 		RowsStreamed:      m.rowsStreamed.get(),
 		ClientDisconnects: m.clientDisconnects.get(),
+		Canceled:          m.canceled.get(),
+		Timeouts:          m.timeouts.get(),
+		DegradedRows:      m.degradedRows.get(),
+		PanicsRecovered:   m.panicsRecovered.get(),
 		Pool:              pool,
 		SpecParse:         m.specParse.snapshot(),
 		EnginePrep:        m.enginePrep.snapshot(),

@@ -40,11 +40,17 @@ type poolEntry struct {
 }
 
 // Handle is a leased engine. Callers must Release it when the batch is
-// done — including batches cut short by a client disconnect — or the
-// entry stays pinned in the pool forever.
+// done — including batches cut short by a client disconnect or a
+// handler panic — or the entry stays pinned in the pool forever.
 type Handle struct {
 	pool  *Pool
 	entry *poolEntry
+	// released makes Release idempotent-safe under races between the
+	// handler's deferred release, the background drain goroutine and
+	// the panic-recovery path: the first call wins, any later call is a
+	// no-op (and panics under the pwcetcheck build so tests catch the
+	// double-release bug at its source). Guarded by pool.mu.
+	released bool
 }
 
 // Engine returns the leased engine. Valid until Release, and safe to
@@ -52,12 +58,29 @@ type Handle struct {
 // only drops the pool's reference; the engine object keeps working).
 func (h *Handle) Engine() *core.Engine { return h.entry.eng }
 
-// Release returns the lease. Idempotent calls are a bug (the refcount
-// would go negative), so callers release exactly once.
+// Release returns the lease exactly once; extra calls are no-ops (a
+// panic under pwcetcheck builds). If the engine was poisoned by a
+// panicking query while leased, Release also drops it from the pool so
+// it is never handed out again — in-flight leases on other handles keep
+// their (fail-fast, ErrPoisoned-returning) reference until they too
+// release.
 func (h *Handle) Release() {
 	p := h.pool
 	p.mu.Lock()
-	h.entry.refs--
+	if h.released {
+		p.mu.Unlock()
+		if checkEnabled {
+			panic("serve: pool Handle released twice")
+		}
+		return
+	}
+	h.released = true
+	e := h.entry
+	e.refs--
+	if e.eng.Poisoned() && p.engines[e.key] == e {
+		delete(p.engines, e.key)
+		p.poisoned++
+	}
 	p.evictLocked()
 	p.mu.Unlock()
 }
@@ -77,6 +100,7 @@ type Pool struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	poisoned  uint64
 }
 
 // NewPool builds an empty engine pool.
@@ -91,13 +115,19 @@ func (p *Pool) Acquire(prog *program.Program, opt core.EngineOptions) (*Handle, 
 	key := poolKey{fingerprint: prog.Fingerprint(), workers: opt.Workers, exact: opt.ExactConvolve}
 
 	p.mu.Lock()
-	if e, ok := p.engines[key]; ok {
+	if e, ok := p.engines[key]; ok && !e.eng.Poisoned() {
 		e.refs++
 		p.seq++
 		e.seq = p.seq
 		p.hits++
 		p.mu.Unlock()
 		return &Handle{pool: p, entry: e}, nil
+	} else if ok {
+		// A resident engine was poisoned by a panicking query: drop it
+		// now (normally Release does this, but the poisoning lease may
+		// still be in flight) and build a replacement below.
+		delete(p.engines, key)
+		p.poisoned++
 	}
 	p.misses++
 	p.mu.Unlock()
@@ -115,12 +145,15 @@ func (p *Pool) Acquire(prog *program.Program, opt core.EngineOptions) (*Handle, 
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if e, ok := p.engines[key]; ok {
+	if e, ok := p.engines[key]; ok && !e.eng.Poisoned() {
 		e.refs++
 		p.seq++
 		e.seq = p.seq
 		p.hits++
 		return &Handle{pool: p, entry: e}, nil
+	} else if ok {
+		delete(p.engines, key)
+		p.poisoned++
 	}
 	p.seq++
 	e := &poolEntry{key: key, eng: eng, refs: 1, seq: p.seq}
@@ -166,6 +199,9 @@ type PoolStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// PoisonedEvictions counts engines dropped because a query panicked
+	// inside them (core.ErrPoisoned); each is rebuilt on next demand.
+	PoisonedEvictions uint64 `json:"poisoned_engines"`
 	// ArtifactBytes is the estimated resident memoized-artifact bytes
 	// summed over all pooled engines (each engine's MemStats);
 	// MaxArtifactBytes echoes the per-engine budget.
@@ -182,12 +218,13 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := PoolStats{
-		Engines:          len(p.engines),
-		MaxEngines:       p.opt.MaxEngines,
-		Hits:             p.hits,
-		Misses:           p.misses,
-		Evictions:        p.evictions,
-		MaxArtifactBytes: p.opt.MaxArtifactBytes,
+		Engines:           len(p.engines),
+		MaxEngines:        p.opt.MaxEngines,
+		Hits:              p.hits,
+		Misses:            p.misses,
+		Evictions:         p.evictions,
+		PoisonedEvictions: p.poisoned,
+		MaxArtifactBytes:  p.opt.MaxArtifactBytes,
 	}
 	//pwcetlint:ordered commutative sums over all resident engines; addition of integers is order-independent
 	for _, e := range p.engines {

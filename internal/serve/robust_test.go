@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/malardalen"
+)
+
+func decodeMetrics(t *testing.T, r io.Reader) metricsJSON {
+	t.Helper()
+	var m metricsJSON
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRecoverPanicsMiddleware: a panicking handler becomes a 500 plus
+// a panic_recovered count when nothing has been written yet, a counted
+// connection drop when streaming already started, and ErrAbortHandler
+// passes through untouched (net/http's deliberate-drop sentinel).
+func TestRecoverPanicsMiddleware(t *testing.T) {
+	s := New(Options{})
+
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if got := s.met.panicsRecovered.get(); got != 1 {
+		t.Fatalf("panic_recovered = %d, want 1", got)
+	}
+
+	h = s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "partial")
+		panic("late bug")
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "partial" {
+		t.Fatalf("started response rewritten: %d %q", rec.Code, rec.Body.String())
+	}
+	if got := s.met.panicsRecovered.get(); got != 2 {
+		t.Fatalf("panic_recovered = %d, want 2", got)
+	}
+
+	h = s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if r := recover(); r != http.ErrAbortHandler {
+				t.Fatalf("ErrAbortHandler swallowed, recovered %v", r)
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+	}()
+	if got := s.met.panicsRecovered.get(); got != 2 {
+		t.Fatalf("ErrAbortHandler counted as a recovered panic (%d)", got)
+	}
+}
+
+// poisonEngine drives the handle's engine into the poisoned state by
+// running a query whose instrumentation hook panics.
+func poisonEngine(t *testing.T, eng *core.Engine) {
+	t.Helper()
+	if _, err := eng.Analyze(core.Query{Pfail: 1e-4}); err == nil {
+		t.Fatal("panicking query reported success")
+	}
+	if !eng.Poisoned() {
+		t.Fatal("engine not poisoned")
+	}
+}
+
+// TestPoolDropsPoisonedEngine: an engine poisoned by a panicking query
+// is evicted on Release and never handed out again — concurrent and
+// subsequent Acquires get a fresh engine, and the eviction is counted.
+func TestPoolDropsPoisonedEngine(t *testing.T) {
+	prog := malardalen.MustGet("bs")
+	p := NewPool(PoolOptions{})
+	armed := true
+	opt := core.EngineOptions{Hook: func(core.ArtifactEvent) {
+		if armed {
+			panic("injected")
+		}
+	}}
+
+	h1, err := p.Acquire(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisonEngine(t, h1.Engine())
+
+	// An Acquire while the poisoning lease is still in flight must not
+	// reuse the poisoned entry.
+	armed = false
+	h2, err := p.Acquire(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Engine() == h1.Engine() {
+		t.Fatal("pool handed out a poisoned engine")
+	}
+	if _, err := h2.Engine().Analyze(core.Query{Pfail: 1e-4}); err != nil {
+		t.Fatalf("replacement engine broken: %v", err)
+	}
+	h1.Release()
+	h2.Release()
+
+	st := p.Stats()
+	if st.PoisonedEvictions != 1 {
+		t.Errorf("poisoned_engines = %d, want 1", st.PoisonedEvictions)
+	}
+	if st.Engines != 1 {
+		t.Errorf("resident engines = %d, want 1 (the healthy replacement)", st.Engines)
+	}
+}
+
+// TestReleaseExactlyOnce: a second Release is a no-op in regular
+// builds and a panic under -tags pwcetcheck — either way the refcount
+// stays correct and the entry remains evictable exactly once.
+func TestReleaseExactlyOnce(t *testing.T) {
+	prog := malardalen.MustGet("bs")
+	p := NewPool(PoolOptions{})
+	h, err := p.Acquire(prog, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	if checkEnabled {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Release did not panic under pwcetcheck")
+			}
+		}()
+		h.Release()
+		return
+	}
+	h.Release() // absorbed
+	p.mu.Lock()
+	refs := h.entry.refs
+	p.mu.Unlock()
+	if refs != 0 {
+		t.Fatalf("refcount corrupted by double release: %d", refs)
+	}
+	// The entry must still be acquirable and consistent.
+	h2, err := p.Acquire(prog, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats after double release: %+v", st)
+	}
+}
+
+// TestSoftDeadlineStreamsDegradedRows: with the server-level soft
+// deadline armed at an unmeetable 1ns, every row still arrives (no
+// 504s, no error lines), is flagged "degraded": true, and the degraded
+// counter shows up in /metrics.
+func TestSoftDeadlineStreamsDegradedRows(t *testing.T) {
+	_, ts := newTestServer(t, Options{SoftDeadline: time.Nanosecond})
+	resp := postSpec(t, ts.URL, `{"benchmarks":["bs"],"pfails":[1e-5,1e-4],"mechanisms":["none","srb"]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rows := readRows(t, resp.Body)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Degraded {
+			t.Errorf("row %s/%s/%g not flagged degraded", r.Benchmark, r.Mechanism, r.Pfail)
+		}
+		if r.PWCET <= 0 {
+			t.Errorf("degraded row carries implausible pWCET %d", r.PWCET)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	m := decodeMetrics(t, mresp.Body)
+	if m.DegradedRows != 4 {
+		t.Errorf("degraded counter = %d, want 4", m.DegradedRows)
+	}
+	if m.Timeouts != 0 || m.BatchErrors != 0 {
+		t.Errorf("degraded mode leaked timeouts/errors: %+v", m)
+	}
+}
+
+// TestDegradedOffByDefault: without SoftDeadline the same sweep streams
+// rows without the degraded flag — the field stays absent from the
+// wire (omitempty), keeping historical byte-identity.
+func TestDegradedOffByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postSpec(t, ts.URL, `{"benchmarks":["bs"],"pfails":[1e-4],"mechanisms":["none"]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 || body[0] != '{' {
+		t.Fatalf("no rows streamed: %q", body)
+	}
+	if strings.Contains(string(body), "degraded") {
+		t.Fatalf("degraded field leaked into non-degraded rows: %s", body)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/batchspec"
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/malardalen"
 )
 
@@ -58,7 +59,16 @@ type Options struct {
 	MaxBodyBytes int64
 	// BatchTimeout bounds one batch request's wall-clock time; a batch
 	// that exceeds it ends with an NDJSON error line. 0 = unlimited.
+	// The deadline also cancels the underlying engine computation (via
+	// the request context), so a timed-out batch stops burning CPU.
 	BatchTimeout time.Duration
+	// SoftDeadline, when positive, arms the engine's degraded mode for
+	// every batch query (core.Query.SoftDeadline): a query that cannot
+	// finish within the deadline retries under a geometrically tighter
+	// support cap and streams a row flagged "degraded": true — a sound,
+	// less tight upper bound — instead of timing the whole batch out.
+	// 0 keeps full precision for every row.
+	SoftDeadline time.Duration
 	// Workers is the default engine worker bound for specs that leave
 	// their workers field at 0.
 	Workers int
@@ -112,6 +122,11 @@ func (s *Server) Pool() *Pool { return s.pool }
 //	GET  /metrics        JSON counters and latency histograms
 //	GET  /healthz        200 ok / 503 draining
 //	     /debug/pprof/*  standard pprof profiles
+//
+// Every route runs inside the panic-isolation middleware: a panicking
+// handler is recovered into a 500 (when the response has not started
+// streaming) and counted in /metrics as panic_recovered — one bad
+// request can never take the daemon down.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -123,7 +138,58 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// startedWriter tracks whether the response has started, so the panic
+// middleware knows whether a 500 can still be written. It forwards
+// Flush to keep the NDJSON streaming path working through the wrapper.
+type startedWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (w *startedWriter) WriteHeader(code int) {
+	w.started = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *startedWriter) Write(b []byte) (int, error) {
+	w.started = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *startedWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverPanics is the per-request panic boundary of the service. Note
+// the engine has its own boundary (core recovers analysis panics into
+// *core.PanicError and poisons the engine), so what reaches here is
+// handler-level bugs; either way the daemon stays up, the panic is
+// counted, and a 500 is returned when nothing has been streamed yet.
+// http.ErrAbortHandler passes through — it is net/http's own sentinel
+// for deliberately dropping a connection, not a failure.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &startedWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.met.panicsRecovered.add(1)
+			if !sw.started {
+				errorJSON(sw, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 // Drain stops accepting new batch requests (503) and waits for the
@@ -324,8 +390,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batches.add(1)
 
 	var deadline time.Time
+	rctx := r.Context()
 	if s.opt.BatchTimeout > 0 {
 		deadline = start.Add(s.opt.BatchTimeout)
+		// The deadline also cancels the engine computation itself, so a
+		// timed-out batch stops consuming CPU instead of racing on with
+		// nobody listening. (The emit check below uses the injectable
+		// clock; this context uses real time — both end the stream.)
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, s.opt.BatchTimeout)
+		defer cancel()
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -337,6 +411,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// continue (false on client disconnect or timeout).
 	clientGone := r.Context().Done()
 	emit := func(v any) bool {
+		if faultpoint.Enabled && faultpoint.Fires(faultpoint.SiteDisconnect) {
+			// Chaos injection: behave exactly as if the client vanished
+			// mid-stream — truncate the NDJSON stream and let the
+			// disconnect path drain the batch and return the engine.
+			s.met.clientDisconnects.add(1)
+			return false
+		}
 		select {
 		case <-clientGone:
 			s.met.clientDisconnects.add(1)
@@ -345,6 +426,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if !deadline.IsZero() && s.opt.Now().After(deadline) {
 			s.met.batchErrors.add(1)
+			s.met.timeouts.add(1)
 			enc.Encode(map[string]string{"error": "batch timeout exceeded"})
 			return false
 		}
@@ -370,7 +452,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.met.enginePrep.observe(s.opt.Now().Sub(prep))
 
 		queries := spec.Queries()
-		ch := handle.Engine().AnalyzeBatchChan(queries)
+		if s.opt.SoftDeadline > 0 {
+			for i := range queries {
+				queries[i].SoftDeadline = s.opt.SoftDeadline
+			}
+		}
+		ch := handle.Engine().AnalyzeBatchChanContext(rctx, queries)
 		// Reassemble completion order into grid order: each row streams
 		// as soon as it and all lower-index rows are done. The channel
 		// is buffered for the whole batch, so when the client vanishes
@@ -386,9 +473,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				res := done[next]
 				if res.Err != nil {
 					s.met.batchErrors.add(1)
+					switch {
+					case errors.Is(res.Err, context.Canceled):
+						s.met.canceled.add(1)
+					case errors.Is(res.Err, context.DeadlineExceeded):
+						s.met.timeouts.add(1)
+					}
+					var pe *core.PanicError
+					if errors.As(res.Err, &pe) {
+						// The engine recovered an analysis panic and
+						// poisoned itself; Release below drops it from the
+						// pool so it is never handed out again.
+						s.met.panicsRecovered.add(1)
+					}
 					emit(map[string]string{"error": fmt.Sprintf("%s: %v", name, res.Err)})
 					streaming = false
 					break
+				}
+				if res.Result.Degraded {
+					s.met.degradedRows.add(1)
 				}
 				if !emit(batchspec.RowOf(name, res.Query, res.Result)) {
 					streaming = false

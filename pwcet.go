@@ -114,6 +114,43 @@
 // bounded pool of per-program engines, with API-key auth, rate
 // limits, JSON metrics and graceful drain; internal/serve holds the
 // testable handler layer.
+//
+// # Robustness
+//
+// Every analysis entry point has a context-aware twin —
+// Engine.AnalyzeContext, Engine.AnalyzeBatchContext and
+// Engine.AnalyzeBatchStreamContext — that observes cancellation and
+// deadlines at every expensive boundary (per-set LP solves, simplex
+// pivot batches, convolution-tree merge nodes). A canceled query
+// returns ctx.Err() promptly, unwinds its worker goroutines and
+// unpins its LRU working set; memoized artifacts computed before the
+// cancellation stay valid, so the engine remains fully usable. The
+// context-free signatures are thin context.Background() wrappers and
+// behave exactly as before.
+//
+// Queries may also set Query.SoftDeadline, a per-query latency
+// budget: when an attempt overruns it, the engine retries with a
+// geometrically tighter penalty-support cap (a coarser but still
+// sound analysis — capping only redistributes probability mass
+// upward) and flags the outcome Result.Degraded instead of failing.
+// Because the final attempt runs without a deadline, a soft deadline
+// never turns into an error; the degraded pWCET is always an upper
+// bound on the exact one.
+//
+// A panic inside an analysis (a bug, a corrupted artifact, an
+// instrumentation Hook failure) is recovered into a *PanicError
+// carrying the panic value and stack, and the engine is poisoned:
+// every subsequent query fails fast with ErrPoisoned instead of
+// computing on top of unknown shared state. Poisoned engines are
+// evicted from serving pools (internal/serve) so one bad engine
+// cannot take down cmd/pwcetd.
+//
+// For fault-drill testing there is internal/faultpoint, a registry of
+// named deterministic injection sites (slow solves, spurious pivot
+// limits, forced evictions, mid-stream disconnects) that compiles to
+// no-ops unless the pwcetfault build tag is set, plus cmd/soak, a
+// chaos harness that hammers a live pwcetd while asserting
+// byte-identity against in-process runs and flat memory residency.
 package pwcet
 
 import (
@@ -160,6 +197,9 @@ type (
 	Options = core.Options
 	// Result is the outcome of one pWCET analysis.
 	Result = core.Result
+	// PanicError wraps a panic recovered inside an analysis; the
+	// offending Engine is poisoned (see ErrPoisoned).
+	PanicError = core.PanicError
 	// Dist is a discrete probability distribution over penalties.
 	Dist = dist.Dist
 	// Point is one (value, probability) atom of a distribution.
@@ -200,6 +240,11 @@ type (
 	// window bound and the per-access extra-miss probability.
 	TransientModel = fault.TransientModel
 )
+
+// ErrPoisoned is returned by every query against an Engine that
+// recovered a panic earlier; see the Robustness section of the
+// package documentation.
+var ErrPoisoned = core.ErrPoisoned
 
 // Scenario kinds, the values ScenarioKind takes.
 const (
